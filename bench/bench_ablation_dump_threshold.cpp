@@ -1,0 +1,47 @@
+// Ablation: the dump threshold (paper fixes 150%). A lower threshold dumps
+// more often (more upload traffic, less cloud storage); a higher one lets
+// incremental checkpoints accumulate (cheaper uploads, more storage and a
+// longer recovery chain). This sweep quantifies that design choice.
+#include "bench_common.h"
+
+using namespace ginja;
+using namespace ginja::bench;
+
+int main() {
+  PrintHeader("Ablation — dump threshold (PostgreSQL, B=50, S=500)");
+  std::printf("%-12s %-8s %-14s %-16s %-16s\n", "threshold", "dumps",
+              "checkpoints", "cloud DB bytes", "bytes uploaded");
+  for (double threshold : {1.1, 1.5, 2.0, 3.0}) {
+    GinjaConfig config;
+    config.batch = 50;
+    config.safety = 500;
+    config.dump_threshold = threshold;
+    config.batch_timeout_us = 1'000'000;
+    config.safety_timeout_us = 30'000'000;
+    auto stack = BuildStack(DbFlavor::kPostgres, Mode::kGinja, config);
+    if (!stack) continue;
+
+    // Drive a fixed number of checkpoint cycles.
+    SplitMix64 rng(1);
+    for (int round = 0; round < 15; ++round) {
+      for (int i = 0; i < 120; ++i) {
+        (void)stack->tpcc->Execute(stack->tpcc->PickType(rng), rng);
+      }
+      (void)stack->db->Checkpoint();
+      stack->ginja->Drain();
+    }
+    const auto& stats = stack->ginja->checkpoint_stats();
+    std::printf("%-12.1f %-8llu %-14llu %-16s %-16s\n", threshold,
+                static_cast<unsigned long long>(stats.dumps_uploaded.Get()),
+                static_cast<unsigned long long>(stats.checkpoints_uploaded.Get()),
+                HumanBytes(static_cast<double>(
+                               stack->ginja->cloud_view().TotalDbBytes()))
+                    .c_str(),
+                HumanBytes(static_cast<double>(stats.bytes_uploaded.Get()))
+                    .c_str());
+    stack->ginja->Stop();
+  }
+  std::printf("\nExpected: lower thresholds dump more often and hold less in\n"
+              "the cloud; higher thresholds upload less but store more.\n");
+  return 0;
+}

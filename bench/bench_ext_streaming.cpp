@@ -1,0 +1,110 @@
+// Extension experiment: Ginja vs. the Pilot-Light streaming-replication
+// baseline (paper §2/§9) on one chart — throughput overhead, data loss in
+// a disaster (RPO), and the monthly bill. This quantifies the paper's
+// qualitative positioning: Ginja buys VM-free cost at a bounded,
+// configurable RPO, sitting between async streaming (cheap RPO, expensive
+// VM) and sync streaming (zero RPO, slow commits, expensive VM).
+#include "bench_common.h"
+#include "cost/scenarios.h"
+#include "db/streaming.h"
+
+using namespace ginja;
+using namespace ginja::bench;
+
+namespace {
+
+constexpr double kModelSeconds = 25.0;
+
+struct Row {
+  std::string name;
+  double tpm_total = 0;
+  std::uint64_t lost_updates = 0;
+  double monthly_cost = 0;
+};
+
+Row RunStreaming(bool synchronous) {
+  auto clock = std::make_shared<ScaledClock>(kTimeScale);
+  auto fs = std::make_shared<MemFs>();
+  auto disk = std::make_shared<FsyncModelFs>(fs, clock);
+  auto intercept = std::make_shared<InterceptFs>(disk, clock, kFuseOverheadUs);
+  const DbLayout layout = DbLayout::Postgres();
+  Database db(intercept, layout);
+  (void)db.Create();
+  TpccConfig tpcc_config;
+  TpccWorkload tpcc(&db, tpcc_config);
+  (void)tpcc.Populate();
+  (void)db.Checkpoint();
+
+  auto standby = std::make_shared<StandbyServer>(fs->Clone(), layout);
+  ReplicationConfig config;
+  config.synchronous = synchronous;
+  config.link_latency_us = 45'000;  // Lisbon -> us-east, one way (model)
+  StreamingPrimary primary(standby, layout, clock, config);
+  intercept->SetListener(&primary);
+
+  TpccRunOptions options;
+  options.terminals = 5;
+  options.wall_seconds = kModelSeconds / kTimeScale;
+  const std::uint64_t start = clock->NowMicros();
+  const auto run = RunTpcc(tpcc, options);
+  const double model_seconds =
+      static_cast<double>(clock->NowMicros() - start) / 1e6;
+
+  // Disaster: primary dies; in-flight WAL on the link is lost.
+  primary.Kill();
+  Row row;
+  row.name = synchronous ? "streaming (sync VM)" : "streaming (async VM)";
+  row.tpm_total = static_cast<double>(run.total_txns) / model_seconds * 60;
+  row.lost_updates = primary.writes_dropped();
+  row.monthly_cost = VmBaseline::M3MediumPilotLight().monthly_cost;
+  return row;
+}
+
+Row RunGinja(std::size_t batch, std::size_t safety) {
+  GinjaConfig config;
+  config.batch = batch;
+  config.safety = safety;
+  config.batch_timeout_us = 1'000'000;
+  config.safety_timeout_us = 30'000'000;
+  auto stack = BuildStack(DbFlavor::kPostgres, Mode::kGinja, config);
+  Row row;
+  row.name = "Ginja B=" + std::to_string(batch) + " S=" + std::to_string(safety);
+  if (!stack) return row;
+  const auto result = RunTpccBench(*stack, kModelSeconds);
+  row.tpm_total = result.TpmTotal();
+  // Disaster: pending (unacknowledged) writes are the loss.
+  row.lost_updates = stack->ginja->PendingWrites();
+  stack->ginja->Kill();
+
+  // Price every configuration at the same reference demand (10 GB DB,
+  // 1000 updates/min — a busy SME) so the dollar column compares like
+  // for like with the fixed-price VM baseline.
+  CostModelParams cost = LaboratoryScenario(1).params;
+  cost.batch = static_cast<double>(batch);
+  cost.updates_per_minute = 1000.0;
+  row.monthly_cost = CostModel(cost).Monthly().Total();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Extension — Ginja vs. Pilot-Light streaming replication "
+      "(PostgreSQL, TPC-C)");
+  std::printf("%-24s %-12s %-18s %-14s\n", "configuration", "Tpm-Total",
+              "lost on disaster", "$ per month");
+  for (Row row : {RunStreaming(false), RunStreaming(true), RunGinja(100, 1000),
+                  RunGinja(10, 100), RunGinja(1, 1)}) {
+    std::printf("%-24s %-12.0f %-18llu %-14.2f\n", row.name.c_str(),
+                row.tpm_total, static_cast<unsigned long long>(row.lost_updates),
+                row.monthly_cost);
+  }
+  std::printf(
+      "\nExpected shape: async streaming is fast but loses the whole link lag\n"
+      "and pays for the VM; sync streaming loses nothing but pays a WAN RTT\n"
+      "per commit; Ginja's S caps the disaster loss at a small fraction of\n"
+      "the VM's monthly bill (dollar column: same 10 GB / 1000 up-min demand\n"
+      "for every row).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 5: TPC-C throughput (Tpm-C / Tpm-Total) of PostgreSQL and MySQL on
+// ext4, on plain FUSE, and on Ginja with the paper's (B, S) grid, down to
+// the synchronous No-Loss configuration (S = B = 1).
+//
+// Latencies are model time (WAN S3 fitted to Table 3, 2 ms local fsync,
+// 150 us FUSE hop); absolute Tpm depends on the simulated engine, but the
+// ordering and relative drops are the paper's.
+#include "bench_common.h"
+
+using namespace ginja;
+using namespace ginja::bench;
+
+namespace {
+
+constexpr double kModelSeconds = 60.0;  // per configuration
+
+struct Row {
+  std::string label;
+  double tpm_total;
+  double tpm_c;
+  std::uint64_t blocked;
+};
+
+Row RunConfig(DbFlavor flavor, Mode mode, std::size_t batch, std::size_t safety,
+              const std::string& label) {
+  GinjaConfig config;
+  config.batch = batch;
+  config.safety = safety;
+  config.batch_timeout_us = 1'000'000;    // TB = 1 s (model)
+  config.safety_timeout_us = 30'000'000;  // TS = 30 s: B/S dominate (paper)
+  auto stack = BuildStack(flavor, mode, config);
+  if (!stack) return {label, 0, 0, 0};
+  const auto result = RunTpccBench(*stack, kModelSeconds);
+  std::uint64_t blocked = 0;
+  if (stack->ginja) {
+    stack->ginja->Drain();
+    blocked = stack->ginja->commit_stats().blocked_waits.Get();
+    stack->ginja->Stop();
+  }
+  return {label, result.TpmTotal(), result.TpmC(), blocked};
+}
+
+void RunFlavor(DbFlavor flavor) {
+  std::printf("\n--- %s ---\n",
+              flavor == DbFlavor::kPostgres ? "PostgreSQL" : "MySQL");
+  std::printf("%-22s %-12s %-12s %-10s\n", "configuration", "Tpm-Total",
+              "Tpm-C", "blocked");
+
+  std::vector<Row> rows;
+  rows.push_back(RunConfig(flavor, Mode::kExt4, 0, 0, "ext4"));
+  rows.push_back(RunConfig(flavor, Mode::kFuse, 0, 0, "FUSE"));
+  struct Cfg {
+    std::size_t b, s;
+  };
+  for (const Cfg& c : {Cfg{1000, 10000}, Cfg{100, 10000}, Cfg{10, 10000},
+                       Cfg{100, 1000}, Cfg{10, 1000}, Cfg{10, 100},
+                       Cfg{1, 1}}) {
+    const std::string label = c.b == 1 && c.s == 1
+                                  ? "No-Loss (S=B=1)"
+                                  : "B=" + std::to_string(c.b) +
+                                        " S=" + std::to_string(c.s);
+    rows.push_back(RunConfig(flavor, Mode::kGinja, c.b, c.s, label));
+  }
+
+  const double ext4 = rows[0].tpm_total;
+  for (const Row& row : rows) {
+    std::printf("%-22s %-12.0f %-12.0f %-10llu (%.0f%% of ext4)\n",
+                row.label.c_str(), row.tpm_total, row.tpm_c,
+                static_cast<unsigned long long>(row.blocked),
+                ext4 > 0 ? row.tpm_total / ext4 * 100 : 0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Figure 5 — TPC-C throughput under Ginja configurations "
+      "(model time, WAN S3)");
+  RunFlavor(DbFlavor::kPostgres);
+  RunFlavor(DbFlavor::kMySql);
+  std::printf(
+      "\nExpected shape (paper Section 8.1): FUSE costs ~7-12%% vs ext4; large\n"
+      "B,S costs only a few %% more; small B with small S blocks the DBMS and\n"
+      "collapses throughput; No-Loss (S=B=1) is slowest of all.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 6: effect of compression and encryption on TPC-C throughput for
+// the three (B, S) configurations the paper tests. Compression shrinks the
+// uploaded objects (helping PostgreSQL's 8 kB pages more than MySQL's
+// 512 B blocks); encryption adds per-byte CPU but no size change.
+#include "bench_common.h"
+
+using namespace ginja;
+using namespace ginja::bench;
+
+namespace {
+
+constexpr double kModelSeconds = 30.0;
+
+void RunFlavor(DbFlavor flavor) {
+  std::printf("\n--- %s ---\n",
+              flavor == DbFlavor::kPostgres ? "PostgreSQL" : "MySQL");
+  std::printf("%-18s %-10s %-12s %-12s %-14s\n", "B/S", "codec", "Tpm-Total",
+              "Tpm-C", "upload bytes");
+
+  struct Cfg {
+    std::size_t b, s;
+  };
+  struct CodecMode {
+    const char* name;
+    bool compress, encrypt;
+  };
+  for (const Cfg& c : {Cfg{10, 100}, Cfg{100, 1000}, Cfg{1000, 10000}}) {
+    for (const CodecMode& m :
+         {CodecMode{"plain", false, false}, CodecMode{"comp", true, false},
+          CodecMode{"crypt", false, true}, CodecMode{"C+C", true, true}}) {
+      GinjaConfig config;
+      config.batch = c.b;
+      config.safety = c.s;
+      config.batch_timeout_us = 1'000'000;
+      config.safety_timeout_us = 30'000'000;
+      config.envelope.compress = m.compress;
+      config.envelope.encrypt = m.encrypt;
+      config.envelope.password = "bench-password";
+      auto stack = BuildStack(flavor, Mode::kGinja, config);
+      if (!stack) continue;
+      const auto result = RunTpccBench(*stack, kModelSeconds);
+      stack->ginja->Drain();
+      const std::uint64_t uploaded =
+          stack->ginja->commit_stats().bytes_uploaded.Get();
+      stack->ginja->Stop();
+      std::printf("%-18s %-10s %-12.0f %-12.0f %-14s\n",
+                  ("B=" + std::to_string(c.b) + " S=" + std::to_string(c.s)).c_str(),
+                  m.name, result.TpmTotal(), result.TpmC(),
+                  HumanBytes(static_cast<double>(uploaded)).c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 6 — compression & encryption effect on throughput");
+  RunFlavor(DbFlavor::kPostgres);
+  RunFlavor(DbFlavor::kMySql);
+  std::printf(
+      "\nExpected shape (paper Section 8.1): PostgreSQL varies slightly —\n"
+      "compressed uploads are faster; encryption adds minimal overhead.\n"
+      "MySQL is nearly insensitive (512 B pages gain little from either).\n");
+  return 0;
+}

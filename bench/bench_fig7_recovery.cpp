@@ -1,0 +1,85 @@
+// Figure 7: recovery time after a failure during TPC-C, as a function of
+// database size (number of warehouses), recovering (a) to an on-premises
+// server over the WAN and (b) to an EC2 VM colocated with the bucket.
+#include "bench_common.h"
+
+using namespace ginja;
+using namespace ginja::bench;
+
+namespace {
+
+constexpr double kModelSeconds = 20.0;
+
+struct RecoveryResult {
+  double minutes = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t objects = 0;
+};
+
+RecoveryResult RecoverWith(ObjectStorePtr raw, const GinjaConfig& config,
+                           const DbLayout& layout, LatencyParams latency) {
+  auto clock = std::make_shared<ScaledClock>(kTimeScale);
+  auto latency_model = std::make_shared<LatencyModel>(latency, clock);
+  auto metered = std::make_shared<MeteredStore>(raw, clock, latency_model);
+  auto target = std::make_shared<MemFs>();
+  RecoveryReport report;
+  Status st =
+      Ginja::Recover(metered, config, layout, target, &report, std::nullopt, clock);
+  if (!st.ok()) return {};
+  // Restarting the DBMS (engine redo) is part of the recovery path.
+  Database db(target, layout);
+  (void)db.Open();
+  RecoveryResult result;
+  // Recovery time = the modelled network time (downloads are sequential in
+  // Alg. 1), free of host-CPU contamination from the scaled clock.
+  const double network_us =
+      static_cast<double>(metered->get_latency().Count()) *
+          metered->get_latency().Mean() +
+      static_cast<double>(metered->Usage().lists) * latency.list_base_us;
+  result.minutes = network_us / 60e6;
+  result.bytes = report.bytes_downloaded;
+  result.objects = report.objects_downloaded;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 7 — recovery time vs. database size (TPC-C warehouses)");
+  std::printf("%-12s %-12s %-14s %-22s %-22s\n", "warehouses", "objects",
+              "downloaded", "on-premises (model)", "EC2 colocated (model)");
+
+  GinjaConfig config;
+  config.batch = 100;
+  config.safety = 1000;
+  config.batch_timeout_us = 1'000'000;
+  config.safety_timeout_us = 30'000'000;
+
+  for (int warehouses : {1, 5, 10}) {
+    auto stack = BuildStack(DbFlavor::kPostgres, Mode::kGinja, config,
+                            warehouses, LatencyParams::WanS3(),
+                            /*tpcc_scale=*/20);  // denser DB, as in Fig. 7
+    if (!stack) continue;
+    (void)RunTpccBench(*stack, kModelSeconds);
+    stack->ginja->Drain();
+    stack->ginja->Stop();
+    auto raw = stack->raw_store;
+    const DbLayout layout = stack->db->layout();
+    stack.reset();  // the primary site is gone
+
+    const RecoveryResult wan =
+        RecoverWith(raw, config, layout, LatencyParams::WanS3());
+    const RecoveryResult ec2 =
+        RecoverWith(raw, config, layout, LatencyParams::Ec2Colocated());
+    std::printf("%-12d %-12llu %-14s %-22.2f %-22.2f\n", warehouses,
+                static_cast<unsigned long long>(wan.objects),
+                HumanBytes(static_cast<double>(wan.bytes)).c_str(), wan.minutes,
+                ec2.minutes);
+  }
+
+  std::printf(
+      "\nExpected shape (paper Section 8.3): recovery time grows with the\n"
+      "database size; recovering into a VM colocated with the bucket is\n"
+      "dramatically faster (and free of egress charges).\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Microbenchmarks (google-benchmark): the hot primitives on Ginja's commit
+// path — LZSS, AES-128-CTR, HMAC-SHA1, WAL appends, and page aggregation.
+#include <benchmark/benchmark.h>
+
+#include "common/codec/aes128.h"
+#include "common/codec/envelope.h"
+#include "common/codec/lzss.h"
+#include "common/codec/sha1.h"
+#include "common/rng.h"
+#include "db/wal.h"
+#include "fs/mem_fs.h"
+
+namespace ginja {
+namespace {
+
+Bytes TpccLikePage(std::size_t size, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  Bytes page;
+  while (page.size() < size) {
+    std::string row = std::to_string(rng.NextBelow(100000)) + "|customer-" +
+                      std::to_string(rng.NextBelow(1000));
+    row.resize(100, 'x');
+    Append(page, View(ToBytes(row)));
+  }
+  page.resize(size);
+  return page;
+}
+
+void BM_LzssCompress(benchmark::State& state) {
+  const Bytes page = TpccLikePage(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Lzss::Compress(View(page)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LzssCompress)->Arg(512)->Arg(8192)->Arg(65536);
+
+void BM_LzssDecompress(benchmark::State& state) {
+  const Bytes page = TpccLikePage(static_cast<std::size_t>(state.range(0)), 1);
+  const Bytes compressed = Lzss::Compress(View(page));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Lzss::Decompress(View(compressed)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LzssDecompress)->Arg(8192)->Arg(65536);
+
+void BM_AesCtr(benchmark::State& state) {
+  Aes128 aes(Aes128::Key{});
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aes.Ctr(View(data), ++nonce));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AesCtr)->Arg(512)->Arg(8192)->Arg(65536);
+
+void BM_Sha1(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0x5C);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::Hash(View(data)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(8192)->Arg(65536);
+
+void BM_EnvelopeEncode(benchmark::State& state) {
+  EnvelopeOptions options;
+  options.compress = state.range(1) & 1;
+  options.encrypt = state.range(1) & 2;
+  Envelope envelope(options);
+  const Bytes page = TpccLikePage(static_cast<std::size_t>(state.range(0)), 2);
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(envelope.Encode(View(page), ++nonce));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EnvelopeEncode)
+    ->Args({8192, 0})   // MAC only
+    ->Args({8192, 1})   // compress
+    ->Args({8192, 2})   // encrypt
+    ->Args({8192, 3});  // C+C
+
+void BM_WalAppend(benchmark::State& state) {
+  const DbLayout layout =
+      state.range(0) == 0 ? DbLayout::Postgres() : DbLayout::MySql();
+  auto fs = std::make_shared<MemFs>();
+  WalWriter writer(fs, layout, 0);
+  WalRecord put;
+  put.type = WalRecordType::kPut;
+  put.table = "customer";
+  put.key = "c:1:2:345";
+  put.value = Bytes(500, 'x');
+  WalRecord commit;
+  commit.type = WalRecordType::kCommit;
+  std::uint64_t txn = 0;
+  for (auto _ : state) {
+    put.txn_id = commit.txn_id = ++txn;
+    benchmark::DoNotOptimize(writer.AppendAndSync({put, commit}));
+  }
+  state.SetLabel(layout.Name());
+}
+BENCHMARK(BM_WalAppend)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace ginja
+
+BENCHMARK_MAIN();

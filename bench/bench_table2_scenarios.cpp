@@ -1,0 +1,51 @@
+// Table 2: cloud DR cost for two real clinical databases — Ginja on S3
+// versus a Pilot-Light database replica on EC2 (m3.medium/m3.large + VPN +
+// provisioned-IOPS EBS, May 2017 prices).
+#include "bench_common.h"
+#include "cost/scenarios.h"
+
+using namespace ginja;
+
+namespace {
+
+void PrintScenario(const char* label, Scenario (*make)(double),
+                   const char* paper_1sync, const char* paper_6sync) {
+  const Scenario one = make(1.0);
+  const Scenario six = make(6.0);
+  const double cost1 = CostModel(one.params).Monthly().Total();
+  const double cost6 = CostModel(six.params).Monthly().Total();
+  const double vm = one.vm_baseline.monthly_cost;
+  std::printf("%s\n", label);
+  std::printf("  Ginja, 1 sync/min (RPO~1min):  $%-8.2f  (paper: %s)\n", cost1,
+              paper_1sync);
+  std::printf("  Ginja, 6 sync/min (RPO~10s):   $%-8.2f  (paper: %s)\n", cost6,
+              paper_6sync);
+  std::printf("  EC2 VM baseline (%s): $%.1f\n",
+              one.vm_baseline.name.c_str(), vm);
+  std::printf("  advantage: %.0fx (1 sync/min), %.0fx (6 sync/min)\n\n",
+              vm / cost1, vm / cost6);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table 2 — Ginja vs. VM-based DR for real applications");
+  PrintScenario("Laboratory (10 GB, 6 updates/min):", LaboratoryScenario,
+                "$0.42", "$1.50");
+  PrintScenario("Hospital (1 TB, 138 updates/min):", HospitalScenario,
+                "$20.3", "$21.4");
+
+  std::printf("Recovery costs (Section 7.3):\n");
+  const CostModel lab(LaboratoryScenario(1).params);
+  const CostModel hospital(HospitalScenario(1).params);
+  std::printf("  Laboratory: $%.2f from outside, $%.2f into colocated EC2 "
+              "(paper: $1.125 / $0)\n",
+              lab.RecoveryCost(), lab.RecoveryCost(true));
+  std::printf("  Hospital:   $%.2f from outside, $%.2f into colocated EC2 "
+              "(paper: $112.5 / $0)\n",
+              hospital.RecoveryCost(), hospital.RecoveryCost(true));
+  std::printf(
+      "\nExpected shape: 62-222x cheaper for the laboratory, ~14x for the\n"
+      "hospital (whose cost is dominated by storing 1 TB).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Table 3: Ginja's use of the storage cloud during five (model) minutes of
+// TPC-C — number of PUTs, average object size, and average PUT latency —
+// for configurations B/S in {10/100, 100/1000, 1000/10000}, plain and with
+// compression+encryption (C+C).
+#include "bench_common.h"
+
+using namespace ginja;
+using namespace ginja::bench;
+
+namespace {
+
+constexpr double kModelSeconds = 60.0;   // measured window
+constexpr double kReportWindow = 300.0;  // report normalised to 5 min
+
+void RunFlavor(DbFlavor flavor) {
+  std::printf("\n--- %s ---\n",
+              flavor == DbFlavor::kPostgres ? "PostgreSQL" : "MySQL");
+  std::printf("%-20s %-14s %-16s %-16s\n", "configuration", "PUTs (5 min)",
+              "object size", "PUT latency");
+
+  struct Cfg {
+    std::size_t b, s;
+    bool codec;
+  };
+  for (const Cfg& c :
+       {Cfg{10, 100, false}, Cfg{10, 100, true}, Cfg{100, 1000, false},
+        Cfg{100, 1000, true}, Cfg{1000, 10000, false}, Cfg{1000, 10000, true}}) {
+    GinjaConfig config;
+    config.batch = c.b;
+    config.safety = c.s;
+    config.batch_timeout_us = 1'000'000;
+    config.safety_timeout_us = 30'000'000;
+    config.envelope.compress = c.codec;
+    config.envelope.encrypt = c.codec;
+    config.envelope.password = "bench";
+    auto stack = BuildStack(flavor, Mode::kGinja, config);
+    if (!stack) continue;
+
+    // Exclude Boot traffic from the measurement.
+    const UsageReport boot_usage = stack->store->Usage();
+    (void)RunTpccBench(*stack, kModelSeconds);
+    stack->ginja->Drain();
+    const UsageReport usage = stack->store->Usage();
+    const double puts =
+        static_cast<double>(usage.puts - boot_usage.puts) *
+        (kReportWindow / kModelSeconds);
+    const double object_size = stack->store->put_object_size().Mean();
+    const double put_latency_ms = stack->store->put_latency().Mean() / 1000.0;
+    stack->ginja->Stop();
+
+    std::printf("%-20s %-14.0f %-16s %-16.0fms\n",
+                (std::to_string(c.b) + "/" + std::to_string(c.s) +
+                 (c.codec ? " C+C" : " plain"))
+                    .c_str(),
+                puts, HumanBytes(object_size).c_str(), put_latency_ms);
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table 3 — cloud usage during TPC-C (normalised to 5 minutes)");
+  RunFlavor(DbFlavor::kPostgres);
+  RunFlavor(DbFlavor::kMySql);
+  std::printf(
+      "\nExpected shape (paper Section 8.2): B x10 cuts PUTs ~5x and grows\n"
+      "objects ~7x (sub-linearly in latency, thanks to page coalescing);\n"
+      "C+C shrinks objects ~37%% and with them the PUT latency.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Table 4: database-server resource usage with and without Ginja.
+//
+// The paper samples OS-level CPU/memory of a physical server. Here the
+// whole system is one process, so two complementary measurements are
+// reported: (1) process CPU time per committed transaction (getrusage),
+// and (2) the codec work the Ginja features add (bytes through
+// compression/encryption/MAC) — the quantities behind the paper's
+// "+4.5% CPU for compression, +1.5% for encryption" observation.
+#include <sys/resource.h>
+
+#include "bench_common.h"
+
+using namespace ginja;
+using namespace ginja::bench;
+
+namespace {
+
+constexpr double kModelSeconds = 25.0;
+
+double ProcessCpuSeconds() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  auto to_seconds = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) + static_cast<double>(tv.tv_usec) / 1e6;
+  };
+  return to_seconds(usage.ru_utime) + to_seconds(usage.ru_stime);
+}
+
+void RunFlavor(DbFlavor flavor) {
+  std::printf("\n--- %s ---\n",
+              flavor == DbFlavor::kPostgres ? "PostgreSQL" : "MySQL");
+  std::printf("%-20s %-16s %-14s %-14s %-14s\n", "configuration",
+              "cpu-ms/txn", "txns", "compressed", "encrypted");
+
+  struct Cfg {
+    const char* name;
+    Mode mode;
+    bool compress, encrypt;
+  };
+  for (const Cfg& c : {Cfg{"Native FS", Mode::kExt4, false, false},
+                       Cfg{"FUSE FS", Mode::kFuse, false, false},
+                       Cfg{"100/1000", Mode::kGinja, false, false},
+                       Cfg{"100/1000 Comp", Mode::kGinja, true, false},
+                       Cfg{"100/1000 Crypt", Mode::kGinja, false, true},
+                       Cfg{"100/1000 C+C", Mode::kGinja, true, true}}) {
+    GinjaConfig config;
+    config.batch = 100;
+    config.safety = 1000;
+    config.batch_timeout_us = 1'000'000;
+    config.safety_timeout_us = 30'000'000;
+    config.envelope.compress = c.compress;
+    config.envelope.encrypt = c.encrypt;
+    config.envelope.password = "bench";
+    auto stack = BuildStack(flavor, c.mode, config);
+    if (!stack) continue;
+
+    const double cpu_before = ProcessCpuSeconds();
+    const auto result = RunTpccBench(*stack, kModelSeconds);
+    if (stack->ginja) stack->ginja->Drain();
+    const double cpu_ms = (ProcessCpuSeconds() - cpu_before) * 1000.0;
+
+    std::uint64_t compressed = 0, encrypted = 0;
+    if (stack->ginja) {
+      compressed = stack->ginja->envelope().stats().bytes_compressed.Get();
+      encrypted = stack->ginja->envelope().stats().bytes_encrypted.Get();
+      stack->ginja->Stop();
+    }
+    std::printf("%-20s %-16.3f %-14llu %-14s %-14s\n", c.name,
+                result.run.total_txns > 0
+                    ? cpu_ms / static_cast<double>(result.run.total_txns)
+                    : 0.0,
+                static_cast<unsigned long long>(result.run.total_txns),
+                HumanBytes(static_cast<double>(compressed)).c_str(),
+                HumanBytes(static_cast<double>(encrypted)).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table 4 — server resource usage with and without Ginja");
+  RunFlavor(DbFlavor::kPostgres);
+  RunFlavor(DbFlavor::kMySql);
+  std::printf(
+      "\nExpected shape (paper Section 8.2): Ginja itself adds ~1-2%% CPU over\n"
+      "plain FUSE; compression costs more CPU than encryption; combined\n"
+      "features sum their overheads. (Note: per-txn CPU here includes the\n"
+      "scaled-clock spin waits, so treat relative differences, not absolutes.)\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Fully automated disaster recovery — heartbeat detection, fencing, and
+// takeover, the orchestration layer the paper leaves to the operator
+// ("the deployment of a fully-automated disaster recovery system is
+// highly dependent on the services being protected", §5) and that this
+// repo implements as an extension using only the object store itself.
+//
+//   $ ./examples/auto_failover
+//
+// Site A protects a database with Ginja and heartbeats into the bucket.
+// Site B watches. Site A dies mid-workload. Site B detects the silence,
+// bumps the fencing epoch (so a zombie A can never replicate again),
+// recovers the database from the bucket, and resumes service — no human
+// in the loop, no standby VM burning money while A was healthy.
+#include <cstdio>
+
+#include "cloud/memory_store.h"
+#include "db/database.h"
+#include "fs/intercept_fs.h"
+#include "fs/mem_fs.h"
+#include "ginja/failover.h"
+#include "ginja/ginja.h"
+
+using namespace ginja;
+
+int main() {
+  auto cloud = std::make_shared<MemoryStore>();
+  auto clock = std::make_shared<RealClock>();
+  const DbLayout layout = DbLayout::Postgres();
+
+  GinjaConfig config;
+  config.batch = 8;
+  config.safety = 100;
+  config.batch_timeout_us = 20'000;
+
+  FailoverConfig failover;
+  failover.heartbeat_interval_us = 50'000;   // 50 ms (demo speed)
+  failover.failure_timeout_us = 400'000;     // declare dead after 400 ms
+  failover.poll_interval_us = 50'000;
+
+  // ---- site A: the primary --------------------------------------------------
+  std::printf("[site A] starting: protecting the database, heartbeating\n");
+  auto site_a = std::make_shared<MemFs>();
+  auto intercept = std::make_shared<InterceptFs>(site_a, clock);
+  Database db(intercept, layout);
+  if (!db.Create().ok() || !db.CreateTable("sessions").ok()) return 1;
+  Ginja ginja(site_a, cloud, clock, layout, config);
+  if (!ginja.Boot().ok()) return 1;
+  intercept->SetListener(&ginja);
+  HeartbeatWriter heart(cloud, clock, config, failover, /*epoch=*/0);
+  heart.Start();
+
+  for (int i = 0; i < 200; ++i) {
+    auto txn = db.Begin();
+    (void)db.Put(txn, "sessions", "user-" + std::to_string(i % 40),
+                 ToBytes("logged_in=" + std::to_string(i)));
+    if (!db.Commit(txn).ok()) return 1;
+  }
+  ginja.Drain();
+  std::printf("[site A] 200 transactions committed and replicated "
+              "(%llu heartbeats so far)\n",
+              static_cast<unsigned long long>(heart.beats_sent()));
+
+  std::printf("\n*** site A loses power ***\n\n");
+  heart.Stop();
+  ginja.Kill();
+
+  // ---- site B: the watcher --------------------------------------------------
+  std::printf("[site B] watching the heartbeat...\n");
+  FailureDetector detector(cloud, clock, config, failover);
+  if (!detector.WaitForPrimaryFailure(/*give_up_after_us=*/5'000'000)) {
+    std::fprintf(stderr, "[site B] detector did not fire\n");
+    return 1;
+  }
+  std::printf("[site B] heartbeat silent past the timeout: primary is DEAD\n");
+
+  Envelope envelope(config.envelope);
+  auto epoch = Promote(*cloud, envelope);
+  if (!epoch.ok()) return 1;
+  std::printf("[site B] fenced old primary (epoch -> %llu)\n",
+              static_cast<unsigned long long>(*epoch));
+
+  auto site_b = std::make_shared<MemFs>();
+  RecoveryReport report;
+  if (!Ginja::Recover(cloud, config, layout, site_b, &report).ok()) return 1;
+  Database takeover(site_b, layout);
+  if (!takeover.Open().ok()) return 1;
+  std::printf("[site B] recovered %llu rows from %llu objects; serving.\n",
+              static_cast<unsigned long long>(takeover.RowCount("sessions")),
+              static_cast<unsigned long long>(report.objects_downloaded));
+
+  // New primary: re-protect under the new epoch and carry on.
+  auto intercept_b = std::make_shared<InterceptFs>(site_b, clock);
+  // (The recovered Database above read through site_b directly; new writes
+  // go through a fresh engine on the interception stack.)
+  Database db_b(intercept_b, layout);
+  if (!db_b.Open().ok()) return 1;
+  Ginja ginja_b(site_b, cloud, clock, layout, config);
+  if (!ginja_b.Reboot().ok()) return 1;
+  intercept_b->SetListener(&ginja_b);
+  HeartbeatWriter heart_b(cloud, clock, config, failover, *epoch);
+  heart_b.Start();
+
+  auto txn = db_b.Begin();
+  (void)db_b.Put(txn, "sessions", "user-0", ToBytes("served-by=site-B"));
+  if (!db_b.Commit(txn).ok()) return 1;
+  ginja_b.Drain();
+  std::printf("[site B] first post-failover transaction replicated; "
+              "heartbeating as epoch %llu\n",
+              static_cast<unsigned long long>(*epoch));
+
+  heart_b.Stop();
+  ginja_b.Stop();
+  const bool ok = takeover.RowCount("sessions") == 40;
+  std::printf("\n%s\n", ok ? "automated failover complete — zero operator actions"
+                           : "UNEXPECTED STATE");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,240 @@
+// ginja_ctl — the DR operator's command-line tool.
+//
+//   ginja_ctl demo    <workdir>             populate a demo bucket (run first)
+//   ginja_ctl status  <workdir>             what is in the bucket?
+//   ginja_ctl verify  <workdir>             full backup verification (§5.4)
+//   ginja_ctl recover <workdir> <target>    rebuild the database files
+//   ginja_ctl cost    <config.ini>          price a deployment (§7 model)
+//
+// The workdir layout matches the clinical_lab example: <workdir>/bucket is
+// the object store, <workdir>/ginja.ini the deployment configuration:
+//
+//   [ginja]
+//   layout   = postgres        # or mysql
+//   batch    = 8
+//   safety   = 100
+//   compress = true
+//   encrypt  = false
+//   password = s3cr3t
+//
+//   [cost]                     # used by `cost`
+//   db_size_gb         = 10
+//   updates_per_minute = 100
+//   checkpoint_minutes = 60
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "cloud/disk_store.h"
+#include "common/config.h"
+#include "cost/cost_model.h"
+#include "db/database.h"
+#include "fs/intercept_fs.h"
+#include "fs/local_fs.h"
+#include "ginja/ginja.h"
+#include "ginja/verifier.h"
+
+using namespace ginja;
+
+namespace {
+
+struct Deployment {
+  GinjaConfig ginja;
+  DbLayout layout = DbLayout::Postgres();
+};
+
+Deployment LoadDeployment(const std::filesystem::path& workdir) {
+  Deployment d;
+  auto config = ConfigFile::Load((workdir / "ginja.ini").string());
+  if (!config.ok()) return d;  // defaults
+  d.ginja.batch = static_cast<std::size_t>(config->GetIntOr("ginja.batch", 8));
+  d.ginja.safety =
+      static_cast<std::size_t>(config->GetIntOr("ginja.safety", 100));
+  d.ginja.envelope.compress = config->GetBoolOr("ginja.compress", false);
+  d.ginja.envelope.encrypt = config->GetBoolOr("ginja.encrypt", false);
+  d.ginja.envelope.password =
+      config->GetStringOr("ginja.password", "ginja-default-mac-key");
+  if (config->GetStringOr("ginja.layout", "postgres") == "mysql") {
+    d.layout = DbLayout::MySql();
+  }
+  return d;
+}
+
+int CmdDemo(const std::filesystem::path& workdir) {
+  std::filesystem::remove_all(workdir);
+  std::filesystem::create_directories(workdir);
+  {
+    std::ofstream ini(workdir / "ginja.ini");
+    ini << "[ginja]\nlayout = postgres\nbatch = 8\nsafety = 100\n"
+           "compress = true\nencrypt = false\n";
+  }
+  const Deployment d = LoadDeployment(workdir);
+  auto clock = std::make_shared<RealClock>();
+  auto disk = std::make_shared<LocalFs>(workdir / "db");
+  auto intercept = std::make_shared<InterceptFs>(disk, clock);
+  auto bucket = std::make_shared<DiskStore>(workdir / "bucket");
+
+  Database db(intercept, d.layout);
+  if (!db.Create().ok() || !db.CreateTable("inventory").ok()) return 1;
+  Ginja dr(disk, bucket, clock, d.layout, d.ginja);
+  if (!dr.Boot().ok()) return 1;
+  intercept->SetListener(&dr);
+
+  for (int i = 0; i < 300; ++i) {
+    auto txn = db.Begin();
+    (void)db.Put(txn, "inventory", "sku-" + std::to_string(i % 80),
+                 ToBytes("count=" + std::to_string(i)));
+    if (!db.Commit(txn).ok()) return 1;
+  }
+  (void)db.Checkpoint();
+  dr.Stop();
+  std::printf("demo database protected into %s/bucket (300 txns, 1 ckpt)\n",
+              workdir.c_str());
+  return 0;
+}
+
+int CmdStatus(const std::filesystem::path& workdir) {
+  auto bucket = std::make_shared<DiskStore>(workdir / "bucket");
+  auto objects = bucket->List("");
+  if (!objects.ok()) {
+    std::fprintf(stderr, "cannot list bucket: %s\n",
+                 objects.status().ToString().c_str());
+    return 1;
+  }
+  std::uint64_t wal_count = 0, wal_bytes = 0, db_count = 0, db_bytes = 0;
+  std::uint64_t min_ts = ~0ull, max_ts = 0;
+  for (const auto& meta : *objects) {
+    if (auto wal = WalObjectId::Decode(meta.name)) {
+      ++wal_count;
+      wal_bytes += meta.size;
+      min_ts = std::min(min_ts, wal->ts);
+      max_ts = std::max(max_ts, wal->ts);
+    } else if (DbObjectId::Decode(meta.name)) {
+      ++db_count;
+      db_bytes += meta.size;
+    }
+  }
+  std::printf("bucket: %s\n", (workdir / "bucket").c_str());
+  std::printf("  WAL objects: %llu (%s)\n",
+              static_cast<unsigned long long>(wal_count),
+              HumanBytes(static_cast<double>(wal_bytes)).c_str());
+  if (wal_count > 0) {
+    std::printf("  WAL ts range: %llu .. %llu\n",
+                static_cast<unsigned long long>(min_ts),
+                static_cast<unsigned long long>(max_ts));
+  }
+  std::printf("  DB objects:  %llu (%s)\n",
+              static_cast<unsigned long long>(db_count),
+              HumanBytes(static_cast<double>(db_bytes)).c_str());
+  const auto prices = PriceBook::AmazonS3May2017();
+  std::printf("  storage cost at S3 rates: $%.4f/month\n",
+              static_cast<double>(wal_bytes + db_bytes) / 1e9 *
+                  prices.storage_gb_month);
+  return 0;
+}
+
+int CmdVerify(const std::filesystem::path& workdir) {
+  const Deployment d = LoadDeployment(workdir);
+  auto bucket = std::make_shared<DiskStore>(workdir / "bucket");
+  const auto report = VerifyBackup(bucket, d.ginja, d.layout);
+  std::printf("object integrity (MACs):   %s\n",
+              report.objects_valid ? "ok" : "FAILED");
+  std::printf("DBMS crash recovery:       %s\n",
+              report.dbms_recovered ? "ok" : "FAILED");
+  std::printf("service checks:            %s\n",
+              report.checks_passed ? "ok" : "FAILED");
+  if (!report.detail.empty()) std::printf("detail: %s\n", report.detail.c_str());
+  std::printf("downloaded %llu objects (%s)\n",
+              static_cast<unsigned long long>(report.recovery.objects_downloaded),
+              HumanBytes(static_cast<double>(report.recovery.bytes_downloaded))
+                  .c_str());
+  return report.Ok() ? 0 : 1;
+}
+
+int CmdRecover(const std::filesystem::path& workdir,
+               const std::filesystem::path& target,
+               std::optional<std::uint64_t> up_to_ts) {
+  const Deployment d = LoadDeployment(workdir);
+  auto bucket = std::make_shared<DiskStore>(workdir / "bucket");
+  auto target_fs = std::make_shared<LocalFs>(target);
+  RecoveryReport report;
+  Status st = Ginja::Recover(bucket, d.ginja, d.layout, target_fs, &report,
+                             up_to_ts);
+  if (!st.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  Database db(target_fs, d.layout);
+  if (!db.Open().ok()) {
+    std::fprintf(stderr, "recovered files, but DBMS restart failed\n");
+    return 1;
+  }
+  std::printf("recovered into %s: %llu objects, %s, up to WAL ts %llu%s\n",
+              target.c_str(),
+              static_cast<unsigned long long>(report.objects_downloaded),
+              HumanBytes(static_cast<double>(report.bytes_downloaded)).c_str(),
+              static_cast<unsigned long long>(report.recovered_to_ts),
+              report.gap_detected ? " (tail truncated at a gap)" : "");
+  for (const auto& table : db.TableNames()) {
+    std::printf("  table %-16s %llu rows\n", table.c_str(),
+                static_cast<unsigned long long>(db.RowCount(table)));
+  }
+  return 0;
+}
+
+int CmdCost(const std::string& config_path) {
+  auto config = ConfigFile::Load(config_path);
+  if (!config.ok()) {
+    std::fprintf(stderr, "cannot read %s\n", config_path.c_str());
+    return 1;
+  }
+  CostModelParams params;
+  params.db_size_gb = config->GetDoubleOr("cost.db_size_gb", 10.0);
+  params.updates_per_minute =
+      config->GetDoubleOr("cost.updates_per_minute", 100.0);
+  params.checkpoint_period_min =
+      config->GetDoubleOr("cost.checkpoint_minutes", 60.0);
+  params.batch = static_cast<double>(config->GetIntOr("ginja.batch", 100));
+  params.compression_rate =
+      config->GetBoolOr("ginja.compress", false) ? 1.43 : 1.0;
+
+  const auto breakdown = CostModel(params).Monthly();
+  std::printf("monthly cost for %.1f GB at %.0f updates/min, B=%.0f:\n",
+              params.db_size_gb, params.updates_per_minute, params.batch);
+  std::printf("  DB storage   $%.4f\n", breakdown.db_storage);
+  std::printf("  DB PUTs      $%.4f\n", breakdown.db_put);
+  std::printf("  WAL storage  $%.4f\n", breakdown.wal_storage);
+  std::printf("  WAL PUTs     $%.4f\n", breakdown.wal_put);
+  std::printf("  TOTAL        $%.4f   (EC2 Pilot Light: $%.1f)\n",
+              breakdown.Total(), VmBaseline::M3MediumPilotLight().monthly_cost);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ginja_ctl demo|status|verify <workdir>\n"
+               "       ginja_ctl recover <workdir> <target-dir> [--ts N]\n"
+               "       ginja_ctl cost <config.ini>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  if (command == "demo") return CmdDemo(argv[2]);
+  if (command == "status") return CmdStatus(argv[2]);
+  if (command == "verify") return CmdVerify(argv[2]);
+  if (command == "cost") return CmdCost(argv[2]);
+  if (command == "recover") {
+    if (argc < 4) return Usage();
+    std::optional<std::uint64_t> up_to_ts;
+    if (argc >= 6 && std::strcmp(argv[4], "--ts") == 0) {
+      up_to_ts = std::strtoull(argv[5], nullptr, 10);
+    }
+    return CmdRecover(argv[2], argv[3], up_to_ts);
+  }
+  return Usage();
+}

@@ -1,0 +1,53 @@
+#include "cloud/memory_store.h"
+
+namespace ginja {
+
+Status MemoryStore::Put(std::string_view name, ByteView data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  objects_[std::string(name)] = Bytes(data.begin(), data.end());
+  return Status::Ok();
+}
+
+Result<Bytes> MemoryStore::Get(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    return Status::NotFound(std::string(name));
+  }
+  return it->second;
+}
+
+Result<std::vector<ObjectMeta>> MemoryStore::List(std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ObjectMeta> out;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back({it->first, it->second.size()});
+  }
+  return out;
+}
+
+Status MemoryStore::Delete(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  objects_.erase(std::string(name));
+  return Status::Ok();
+}
+
+std::size_t MemoryStore::ObjectCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.size();
+}
+
+std::uint64_t MemoryStore::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [name, data] : objects_) total += data.size();
+  return total;
+}
+
+void MemoryStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  objects_.clear();
+}
+
+}  // namespace ginja

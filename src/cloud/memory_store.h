@@ -1,0 +1,29 @@
+// In-memory object store: the reference backend for tests and simulation.
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "cloud/object_store.h"
+
+namespace ginja {
+
+class MemoryStore : public ObjectStore {
+ public:
+  Status Put(std::string_view name, ByteView data) override;
+  Result<Bytes> Get(std::string_view name) override;
+  Result<std::vector<ObjectMeta>> List(std::string_view prefix) override;
+  Status Delete(std::string_view name) override;
+
+  std::size_t ObjectCount() const;
+  std::uint64_t TotalBytes() const;
+
+  // Drops every object; used by tests simulating a fresh bucket.
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Bytes, std::less<>> objects_;
+};
+
+}  // namespace ginja

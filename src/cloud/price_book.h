@@ -1,0 +1,48 @@
+// Cloud price books — May 2017 list prices used throughout the paper.
+//
+// §3: "Amazon S3 standard storage costs are $0.023 per GB/month, $0.005 per
+// 1000 file uploads, and free upload bandwidth and delete operations."
+// §7.3: downloads cost ~4× the monthly storage price per GB.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ginja {
+
+struct PriceBook {
+  std::string provider;
+  double storage_gb_month = 0;   // $ per GB-month
+  double per_put = 0;            // $ per PUT/LIST request
+  double per_get = 0;            // $ per GET request
+  double per_delete = 0;         // $ per DELETE (0 on S3)
+  double egress_gb = 0;          // $ per GB downloaded to the internet
+  double ingress_gb = 0;         // $ per GB uploaded (0 on all majors)
+
+  static PriceBook AmazonS3May2017() {
+    return {"aws-s3", 0.023, 0.005 / 1000.0, 0.0004 / 1000.0, 0.0, 0.09, 0.0};
+  }
+  static PriceBook AzureBlobMay2017() {
+    return {"azure-blob", 0.0184, 0.0036 / 1000.0, 0.0036 / 10000.0, 0.0, 0.087, 0.0};
+  }
+  static PriceBook GoogleStorageMay2017() {
+    return {"gcp-gcs", 0.026, 0.005 / 1000.0, 0.0004 / 1000.0, 0.0, 0.12, 0.0};
+  }
+};
+
+// EC2 Pilot-Light baselines from paper Table 2 (May 2017, Linux,
+// us-east-1, including VPN and EBS provisioned IOPS as the paper's
+// footnote configuration).
+struct VmBaseline {
+  std::string name;
+  double monthly_cost = 0;
+
+  // "m3.medium + VPN + EBS 100IOS = $93.4" — small/medium DB Pilot Light.
+  static VmBaseline M3MediumPilotLight() { return {"m3.medium+VPN+EBS100", 93.4}; }
+  // "m3.large + VPN + EBS 500IOS = $291.5" — 1 TB hospital DB.
+  static VmBaseline M3LargePilotLight() { return {"m3.large+VPN+EBS500", 291.5}; }
+  // Bare m3.medium referenced in §3/§7.2: $48.24/month.
+  static VmBaseline M3MediumBare() { return {"m3.medium", 48.24}; }
+};
+
+}  // namespace ginja

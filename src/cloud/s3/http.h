@@ -1,0 +1,42 @@
+// Minimal HTTP request/response model and transport interface for the
+// wire-level S3 pair. Real deployments would put a socket behind
+// HttpTransport; this repo ships an in-process S3Server so the full
+// request → SigV4 → REST → XML path runs offline.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace ginja {
+
+struct HttpRequest {
+  std::string method;                  // GET / PUT / DELETE
+  std::string path;                    // "/bucket/key", URI-encoded
+  std::map<std::string, std::string> query;    // decoded key -> value
+  std::map<std::string, std::string> headers;  // lower-case names
+  Bytes body;
+};
+
+struct HttpResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;
+  Bytes body;
+};
+
+class HttpTransport {
+ public:
+  virtual ~HttpTransport() = default;
+  // Delivers a request and returns the response. Transport-level failures
+  // (host unreachable...) surface as an error Status; HTTP-level errors
+  // come back as responses with 4xx/5xx status.
+  virtual Result<HttpResponse> RoundTrip(const HttpRequest& request) = 0;
+};
+
+// RFC 3986 percent-encoding with the unreserved set AWS expects.
+// `encode_slash` is false when encoding a path (S3 keeps '/' literal).
+std::string UriEncode(std::string_view s, bool encode_slash = true);
+
+}  // namespace ginja

@@ -1,0 +1,320 @@
+#include "cloud/s3/http_socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+namespace ginja {
+
+namespace {
+
+// Reason phrases for the handful of statuses the S3 pair emits.
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+// Reads from `fd` until the stream holds a complete HTTP message
+// (empty-line header terminator plus Content-Length body bytes).
+Result<std::string> ReadHttpMessage(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  std::size_t body_needed = std::string::npos;
+  std::size_t header_end = std::string::npos;
+  while (true) {
+    if (header_end != std::string::npos &&
+        buffer.size() >= header_end + 4 + body_needed) {
+      return buffer;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n == 0) {
+      if (header_end != std::string::npos) return buffer;  // peer done
+      return Status::IoError("connection closed mid-request");
+    }
+    if (n < 0) return Status::IoError(std::strerror(errno));
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    if (header_end == std::string::npos) {
+      header_end = buffer.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        body_needed = 0;
+        // Scan the headers for Content-Length (case-insensitive).
+        std::istringstream headers(buffer.substr(0, header_end));
+        std::string line;
+        while (std::getline(headers, line)) {
+          std::string lower = line;
+          for (auto& c : lower) c = static_cast<char>(std::tolower(c));
+          if (lower.rfind("content-length:", 0) == 0) {
+            body_needed = std::strtoull(line.c_str() + 15, nullptr, 10);
+          }
+        }
+      }
+    }
+  }
+}
+
+Status SendAll(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return Status::IoError("send failed");
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+std::string EncodeQuery(const std::map<std::string, std::string>& query) {
+  std::string out;
+  for (const auto& [key, value] : query) {
+    out += out.empty() ? '?' : '&';
+    out += UriEncode(key) + "=" + UriEncode(value);
+  }
+  return out;
+}
+
+std::string PercentDecode(std::string_view s) {
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size() && nibble(s[i + 1]) >= 0 &&
+        nibble(s[i + 2]) >= 0) {
+      out.push_back(static_cast<char>((nibble(s[i + 1]) << 4) | nibble(s[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SerializeHttpRequest(const HttpRequest& request) {
+  std::ostringstream out;
+  out << request.method << ' ' << request.path << EncodeQuery(request.query)
+      << " HTTP/1.1\r\n";
+  for (const auto& [name, value] : request.headers) {
+    out << name << ": " << value << "\r\n";
+  }
+  out << "content-length: " << request.body.size() << "\r\n";
+  out << "connection: close\r\n\r\n";
+  out.write(reinterpret_cast<const char*>(request.body.data()),
+            static_cast<std::streamsize>(request.body.size()));
+  return out.str();
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << response.status << ' ' << ReasonPhrase(response.status)
+      << "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out << name << ": " << value << "\r\n";
+  }
+  out << "content-length: " << response.body.size() << "\r\n";
+  out << "connection: close\r\n\r\n";
+  out.write(reinterpret_cast<const char*>(response.body.data()),
+            static_cast<std::streamsize>(response.body.size()));
+  return out.str();
+}
+
+Result<HttpRequest> ParseHttpRequest(std::string_view wire) {
+  const auto header_end = wire.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) {
+    return Status::InvalidArgument("no header terminator");
+  }
+  std::istringstream headers{std::string(wire.substr(0, header_end))};
+  std::string request_line;
+  if (!std::getline(headers, request_line)) {
+    return Status::InvalidArgument("missing request line");
+  }
+  HttpRequest request;
+  std::istringstream rl(request_line);
+  std::string target, version;
+  if (!(rl >> request.method >> target >> version)) {
+    return Status::InvalidArgument("malformed request line");
+  }
+  const auto qmark = target.find('?');
+  request.path = target.substr(0, qmark);
+  if (qmark != std::string::npos) {
+    std::string_view qs(target);
+    qs.remove_prefix(qmark + 1);
+    while (!qs.empty()) {
+      const auto amp = qs.find('&');
+      const std::string_view pair = qs.substr(0, amp);
+      const auto eq = pair.find('=');
+      if (eq != std::string_view::npos) {
+        request.query[PercentDecode(pair.substr(0, eq))] =
+            PercentDecode(pair.substr(eq + 1));
+      }
+      if (amp == std::string_view::npos) break;
+      qs.remove_prefix(amp + 1);
+    }
+  }
+  std::string line;
+  while (std::getline(headers, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = line.substr(0, colon);
+    for (auto& c : name) c = static_cast<char>(std::tolower(c));
+    std::string value = line.substr(colon + 1);
+    if (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    request.headers[name] = value;
+  }
+  // Transport headers are not part of the SigV4-signed set.
+  request.headers.erase("content-length");
+  request.headers.erase("connection");
+  const std::string_view body = wire.substr(header_end + 4);
+  request.body.assign(body.begin(), body.end());
+  return request;
+}
+
+Result<HttpResponse> ParseHttpResponse(std::string_view wire) {
+  const auto header_end = wire.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) {
+    return Status::InvalidArgument("no header terminator");
+  }
+  HttpResponse response;
+  std::istringstream headers{std::string(wire.substr(0, header_end))};
+  std::string status_line;
+  if (!std::getline(headers, status_line)) {
+    return Status::InvalidArgument("missing status line");
+  }
+  std::istringstream sl(status_line);
+  std::string version;
+  if (!(sl >> version >> response.status)) {
+    return Status::InvalidArgument("malformed status line");
+  }
+  std::string line;
+  while (std::getline(headers, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = line.substr(0, colon);
+    for (auto& c : name) c = static_cast<char>(std::tolower(c));
+    std::string value = line.substr(colon + 1);
+    if (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    response.headers[name] = value;
+  }
+  const std::string_view body = wire.substr(header_end + 4);
+  response.body.assign(body.begin(), body.end());
+  return response;
+}
+
+HttpSocketServer::HttpSocketServer(std::shared_ptr<HttpTransport> handler,
+                                   int port)
+    : handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    status_ = Status::IoError("socket: " + std::string(std::strerror(errno)));
+    return;
+  }
+  const int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof reuse);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    status_ = Status::IoError("bind/listen: " + std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  status_ = Status::Ok();
+  thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+HttpSocketServer::~HttpSocketServer() {
+  stopping_.store(true);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpSocketServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpSocketServer::ServeConnection(int fd) {
+  auto wire = ReadHttpMessage(fd);
+  if (!wire.ok()) return;
+  auto request = ParseHttpRequest(*wire);
+  HttpResponse response;
+  if (!request.ok()) {
+    response.status = 400;
+    response.body = ToBytes(request.status().ToString());
+  } else {
+    auto handled = handler_->RoundTrip(*request);
+    if (handled.ok()) {
+      response = std::move(*handled);
+    } else {
+      response.status = 500;
+      response.body = ToBytes(handled.status().ToString());
+    }
+  }
+  served_.fetch_add(1);
+  (void)SendAll(fd, SerializeHttpResponse(response));
+}
+
+HttpSocketClient::HttpSocketClient(std::string host, int port)
+    : host_(std::move(host)), port_(port) {}
+
+Result<HttpResponse> HttpSocketClient::RoundTrip(const HttpRequest& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host " + host_);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return Status::Unavailable("connect: " + std::string(std::strerror(errno)));
+  }
+  Status st = SendAll(fd, SerializeHttpRequest(request));
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  ::shutdown(fd, SHUT_WR);
+  auto wire = ReadHttpMessage(fd);
+  ::close(fd);
+  if (!wire.ok()) return wire.status();
+  return ParseHttpResponse(*wire);
+}
+
+}  // namespace ginja

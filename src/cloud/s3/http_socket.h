@@ -1,0 +1,72 @@
+// HTTP/1.1 over real TCP sockets (localhost or otherwise) for the S3 pair.
+//
+// `HttpSocketServer` accepts connections and forwards each request to any
+// HttpTransport handler — normally an S3Server — so the full stack can run
+// over an actual network socket:
+//
+//   S3Client → HttpSocketClient ──TCP──▶ HttpSocketServer → S3Server → store
+//
+// The implementation speaks a deliberately small HTTP/1.1 subset:
+// Content-Length framing (no chunked encoding), one request per
+// connection (Connection: close), percent-encoded query strings.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "cloud/s3/http.h"
+
+namespace ginja {
+
+// -- wire (de)serialization, exposed for tests --------------------------------
+
+std::string SerializeHttpRequest(const HttpRequest& request);
+std::string SerializeHttpResponse(const HttpResponse& response);
+// Parses a complete request/response octet stream (headers + full body).
+Result<HttpRequest> ParseHttpRequest(std::string_view wire);
+Result<HttpResponse> ParseHttpResponse(std::string_view wire);
+
+// -- server ---------------------------------------------------------------------
+
+class HttpSocketServer {
+ public:
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and serves on a background
+  // thread until destruction. `handler` processes each parsed request.
+  HttpSocketServer(std::shared_ptr<HttpTransport> handler, int port = 0);
+  ~HttpSocketServer();
+
+  // OK when listening; the bound port is then available via port().
+  Status status() const { return status_; }
+  int port() const { return port_; }
+
+  std::uint64_t requests_served() const { return served_.load(); }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  std::shared_ptr<HttpTransport> handler_;
+  Status status_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> served_{0};
+};
+
+// -- client ----------------------------------------------------------------------
+
+class HttpSocketClient : public HttpTransport {
+ public:
+  HttpSocketClient(std::string host, int port);
+
+  Result<HttpResponse> RoundTrip(const HttpRequest& request) override;
+
+ private:
+  std::string host_;
+  int port_;
+};
+
+}  // namespace ginja

@@ -1,0 +1,160 @@
+#include "cloud/s3/sigv4.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/codec/sha256.h"
+
+namespace ginja {
+
+std::string UriEncode(std::string_view s, bool encode_slash) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const bool unreserved = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                            (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                            c == '.' || c == '~';
+    if (unreserved || (c == '/' && !encode_slash)) {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xF]);
+      out.push_back(kHex[static_cast<unsigned char>(c) & 0xF]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string HexDigest(const Sha256::Digest& d) {
+  return ToHex(ByteView(d.data(), d.size()));
+}
+
+// SigV4 signs a sorted, lower-cased subset of headers; we sign everything
+// the client sets except the authorization header itself.
+std::vector<std::pair<std::string, std::string>> SignedHeaders(
+    const HttpRequest& request) {
+  std::vector<std::pair<std::string, std::string>> headers;
+  for (const auto& [name, value] : request.headers) {
+    if (name == "authorization") continue;
+    headers.emplace_back(name, value);
+  }
+  std::sort(headers.begin(), headers.end());
+  return headers;
+}
+
+std::string SignedHeaderNames(const HttpRequest& request) {
+  std::string out;
+  for (const auto& [name, value] : SignedHeaders(request)) {
+    if (!out.empty()) out += ';';
+    out += name;
+  }
+  return out;
+}
+
+std::string DateStamp(const std::string& amz_date) {
+  return amz_date.substr(0, 8);  // YYYYMMDD
+}
+
+}  // namespace
+
+std::string SigV4Signer::CanonicalRequest(const HttpRequest& request) const {
+  std::ostringstream canonical;
+  canonical << request.method << '\n';
+  canonical << UriEncode(request.path, /*encode_slash=*/false) << '\n';
+
+  // Canonical query string: keys sorted, both sides URI-encoded.
+  bool first = true;
+  for (const auto& [key, value] : request.query) {  // std::map: sorted
+    if (!first) canonical << '&';
+    first = false;
+    canonical << UriEncode(key) << '=' << UriEncode(value);
+  }
+  canonical << '\n';
+
+  for (const auto& [name, value] : SignedHeaders(request)) {
+    canonical << name << ':' << value << '\n';
+  }
+  canonical << '\n' << SignedHeaderNames(request) << '\n';
+
+  auto it = request.headers.find("x-amz-content-sha256");
+  canonical << (it != request.headers.end()
+                    ? it->second
+                    : HexDigest(Sha256::Hash(View(request.body))));
+  return canonical.str();
+}
+
+std::string SigV4Signer::StringToSign(const HttpRequest& request,
+                                      const std::string& amz_date) const {
+  const std::string scope = DateStamp(amz_date) + "/" + credentials_.region +
+                            "/" + credentials_.service + "/aws4_request";
+  std::ostringstream sts;
+  sts << "AWS4-HMAC-SHA256\n"
+      << amz_date << '\n'
+      << scope << '\n'
+      << HexDigest(Sha256::Hash(View(ToBytes(CanonicalRequest(request)))));
+  return sts.str();
+}
+
+std::string SigV4Signer::Signature(const HttpRequest& request,
+                                   const std::string& amz_date) const {
+  // Signing key chain: kSecret -> kDate -> kRegion -> kService -> kSigning.
+  const Bytes k_secret = ToBytes("AWS4" + credentials_.secret_access_key);
+  const auto k_date = HmacSha256(View(k_secret), View(ToBytes(DateStamp(amz_date))));
+  const auto k_region = HmacSha256(ByteView(k_date.data(), k_date.size()),
+                                   View(ToBytes(credentials_.region)));
+  const auto k_service = HmacSha256(ByteView(k_region.data(), k_region.size()),
+                                    View(ToBytes(credentials_.service)));
+  const auto k_signing = HmacSha256(ByteView(k_service.data(), k_service.size()),
+                                    View(ToBytes("aws4_request")));
+  const auto signature =
+      HmacSha256(ByteView(k_signing.data(), k_signing.size()),
+                 View(ToBytes(StringToSign(request, amz_date))));
+  return ToHex(ByteView(signature.data(), signature.size()));
+}
+
+void SigV4Signer::Sign(HttpRequest& request, const std::string& amz_date) const {
+  if (request.headers.count("host") == 0) {
+    request.headers["host"] = "s3." + credentials_.region + ".amazonaws.com";
+  }
+  request.headers["x-amz-date"] = amz_date;
+  request.headers["x-amz-content-sha256"] =
+      ToHex(ByteView(Sha256::Hash(View(request.body)).data(), 32));
+
+  const std::string scope = DateStamp(amz_date) + "/" + credentials_.region +
+                            "/" + credentials_.service + "/aws4_request";
+  request.headers["authorization"] =
+      "AWS4-HMAC-SHA256 Credential=" + credentials_.access_key_id + "/" +
+      scope + ", SignedHeaders=" + SignedHeaderNames(request) +
+      ", Signature=" + Signature(request, amz_date);
+}
+
+bool SigV4Signer::Verify(const HttpRequest& request) const {
+  const auto auth = request.headers.find("authorization");
+  const auto date = request.headers.find("x-amz-date");
+  const auto content = request.headers.find("x-amz-content-sha256");
+  if (auth == request.headers.end() || date == request.headers.end() ||
+      content == request.headers.end()) {
+    return false;
+  }
+  // The declared payload hash must match the actual body...
+  if (content->second !=
+      ToHex(ByteView(Sha256::Hash(View(request.body)).data(), 32))) {
+    return false;
+  }
+  // ...and the recomputed signature must match the presented one.
+  const auto sig_pos = auth->second.find("Signature=");
+  if (sig_pos == std::string::npos) return false;
+  const std::string presented = auth->second.substr(sig_pos + 10);
+  const std::string expected = Signature(request, date->second);
+  if (presented.size() != expected.size()) return false;
+  unsigned char diff = 0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    diff |= static_cast<unsigned char>(presented[i] ^ expected[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace ginja

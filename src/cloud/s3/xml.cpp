@@ -1,0 +1,78 @@
+#include "cloud/s3/xml.h"
+
+namespace ginja {
+
+std::string XmlEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string XmlUnescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '&') {
+      out.push_back(s[i]);
+      continue;
+    }
+    const std::string_view rest = s.substr(i);
+    if (rest.starts_with("&amp;")) {
+      out.push_back('&');
+      i += 4;
+    } else if (rest.starts_with("&lt;")) {
+      out.push_back('<');
+      i += 3;
+    } else if (rest.starts_with("&gt;")) {
+      out.push_back('>');
+      i += 3;
+    } else if (rest.starts_with("&quot;")) {
+      out.push_back('"');
+      i += 5;
+    } else {
+      out.push_back('&');
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> XmlExtract(std::string_view doc,
+                                      std::string_view tag) {
+  const std::string open = "<" + std::string(tag) + ">";
+  const std::string close = "</" + std::string(tag) + ">";
+  const auto start = doc.find(open);
+  if (start == std::string_view::npos) return std::nullopt;
+  const auto content_start = start + open.size();
+  const auto end = doc.find(close, content_start);
+  if (end == std::string_view::npos) return std::nullopt;
+  return XmlUnescape(doc.substr(content_start, end - content_start));
+}
+
+std::vector<std::string> XmlExtractAll(std::string_view doc,
+                                       std::string_view tag) {
+  const std::string open = "<" + std::string(tag) + ">";
+  const std::string close = "</" + std::string(tag) + ">";
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (true) {
+    const auto start = doc.find(open, pos);
+    if (start == std::string_view::npos) break;
+    const auto content_start = start + open.size();
+    const auto end = doc.find(close, content_start);
+    if (end == std::string_view::npos) break;
+    out.emplace_back(doc.substr(content_start, end - content_start));
+    pos = end + close.size();
+  }
+  return out;
+}
+
+}  // namespace ginja

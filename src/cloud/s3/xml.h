@@ -1,0 +1,24 @@
+// Tiny XML helpers — just enough for S3's ListObjectsV2 documents and
+// error bodies. Not a general XML parser: no attributes-on-extract, no
+// namespaces — deliberately matching the narrow shapes S3 emits.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ginja {
+
+// Escapes &, <, >, " for element content.
+std::string XmlEscape(std::string_view s);
+std::string XmlUnescape(std::string_view s);
+
+// Content of the first <tag>...</tag> in `doc` (unescaped), if present.
+std::optional<std::string> XmlExtract(std::string_view doc, std::string_view tag);
+
+// Contents of every <tag>...</tag>, in document order (raw, not unescaped —
+// callers extract nested tags from the fragments).
+std::vector<std::string> XmlExtractAll(std::string_view doc, std::string_view tag);
+
+}  // namespace ginja

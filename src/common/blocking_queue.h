@@ -1,0 +1,125 @@
+// Bounded blocking queue used by the Ginja pipelines (Fig. 3 of the paper).
+//
+// The paper's CommitQueue has two unusual semantics which this template
+// supports directly:
+//   * Peek-without-remove of the next batch (the Aggregator reads B elements
+//     "without removing them"; the Unlocker removes them only after the
+//     upload is acknowledged).
+//   * A capacity bound of S elements where a full Put() blocks — that block
+//     *is* Ginja's Safety mechanism.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace ginja {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  // capacity == 0 means unbounded.
+  explicit BlockingQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  // Blocks while the queue is full. Returns false if the queue was closed.
+  bool Put(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || !Full(); });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking put that ignores the capacity bound (used for priority
+  // control messages). Returns false if closed.
+  bool ForcePut(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an element is available; nullopt when closed and drained.
+  std::optional<T> Take() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Blocks up to `micros`; nullopt on timeout or closed-and-drained.
+  std::optional<T> TakeFor(std::uint64_t micros) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, std::chrono::microseconds(micros),
+                        [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Copies up to `n` elements from the head without removing them, blocking
+  // until at least one is available (or closed). Paper: Aggregator semantics.
+  std::vector<T> PeekBatch(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    std::vector<T> out;
+    for (std::size_t i = 0; i < items_.size() && i < n; ++i) out.push_back(items_[i]);
+    return out;
+  }
+
+  // Removes `n` elements from the head. Paper: Unlocker semantics.
+  void PopN(std::size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < n && !items_.empty(); ++i) items_.pop_front();
+    not_full_.notify_all();
+  }
+
+  std::size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool Empty() const { return Size() == 0; }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool Closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  // Blocks until the queue is empty (all elements consumed) or closed.
+  void WaitEmpty() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.empty(); });
+  }
+
+ private:
+  bool Full() const { return capacity_ != 0 && items_.size() >= capacity_; }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace ginja

@@ -1,0 +1,44 @@
+#include "common/clock.h"
+
+#include <thread>
+
+namespace ginja {
+
+namespace {
+std::uint64_t WallMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+std::uint64_t RealClock::NowMicros() { return WallMicros(); }
+
+void RealClock::SleepMicros(std::uint64_t micros) {
+  if (micros == 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+std::uint64_t ScaledClock::NowMicros() {
+  return static_cast<std::uint64_t>(static_cast<double>(WallMicros()) * scale_);
+}
+
+void ScaledClock::SleepMicros(std::uint64_t micros) {
+  const double wall = static_cast<double>(micros) / scale_;
+  if (wall < 0.05) return;  // below timing resolution: treat as free
+  // OS sleep granularity (~50 us) would distort short scaled delays, so
+  // sub-200 us waits spin on the monotonic clock instead.
+  if (wall < 200.0) {
+    const std::uint64_t deadline =
+        WallMicros() + static_cast<std::uint64_t>(wall);
+    while (WallMicros() < deadline) {
+      // spin
+    }
+    return;
+  }
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<std::uint64_t>(wall)));
+}
+
+}  // namespace ginja

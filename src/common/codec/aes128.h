@@ -1,0 +1,39 @@
+// AES-128 (FIPS 197) implemented from scratch, with CTR-mode streaming.
+//
+// The paper's prototype encrypts cloud objects "using AES with 128-bit
+// keys" (§6). CTR mode keeps ciphertext length equal to plaintext length
+// (important for the cost model: encryption must not inflate storage) and
+// makes encryption and decryption the same operation. The key is held only
+// in memory, mirroring the paper's key-handling discussion (§5.4).
+//
+// Validated against the FIPS-197 Appendix C vector in the codec tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace ginja {
+
+class Aes128 {
+ public:
+  using Key = std::array<std::uint8_t, 16>;
+  using Block = std::array<std::uint8_t, 16>;
+
+  explicit Aes128(const Key& key);
+
+  // Encrypts one 16-byte block in place (the raw cipher; ECB primitive).
+  void EncryptBlock(std::uint8_t block[16]) const;
+
+  // CTR mode: XORs `data` with the keystream generated from `nonce`.
+  // Encrypt and decrypt are identical. nonce occupies the first 8 bytes of
+  // the counter block; the block counter the last 8.
+  Bytes Ctr(ByteView data, std::uint64_t nonce) const;
+
+ private:
+  // 11 round keys of 16 bytes each.
+  std::array<std::uint8_t, 176> round_keys_;
+};
+
+}  // namespace ginja

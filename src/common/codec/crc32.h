@@ -1,0 +1,14 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) — used to detect torn WAL
+// records during crash recovery, mirroring what PostgreSQL and InnoDB do
+// with per-record/page checksums.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace ginja {
+
+std::uint32_t Crc32(ByteView data, std::uint32_t seed = 0);
+
+}  // namespace ginja

@@ -1,0 +1,94 @@
+#include "common/codec/envelope.h"
+
+#include <cstring>
+
+#include "common/codec/lzss.h"
+
+namespace ginja {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x314A4E47u;  // "GNJ1" little-endian
+constexpr std::uint8_t kFlagCompressed = 0x01;
+constexpr std::uint8_t kFlagEncrypted = 0x02;
+}  // namespace
+
+Envelope::Envelope(EnvelopeOptions options)
+    : options_(std::move(options)),
+      enc_key_(DeriveKey(options_.password, "ginja-enc")),
+      mac_key_(DeriveKey(options_.password, "ginja-mac")) {}
+
+Bytes Envelope::Encode(ByteView payload, std::uint64_t nonce) const {
+  Bytes processed;
+  std::uint8_t flags = 0;
+
+  if (options_.compress) {
+    stats_.bytes_compressed.Add(payload.size());
+    processed = Lzss::Compress(payload);
+    // Incompressible payloads can expand; store raw in that case so the
+    // envelope never costs more storage than the plaintext would.
+    if (processed.size() < payload.size()) {
+      flags |= kFlagCompressed;
+    } else {
+      processed.assign(payload.begin(), payload.end());
+    }
+  } else {
+    processed.assign(payload.begin(), payload.end());
+  }
+
+  if (options_.encrypt) {
+    stats_.bytes_encrypted.Add(processed.size());
+    Aes128 aes(enc_key_);
+    processed = aes.Ctr(View(processed), nonce);
+    flags |= kFlagEncrypted;
+  }
+
+  stats_.bytes_macced.Add(processed.size());
+  const MacTag mac = HmacSha1(ByteView(mac_key_.data(), mac_key_.size()),
+                              View(processed));
+
+  Bytes out;
+  out.reserve(kHeaderSize + processed.size());
+  PutU32(out, kMagic);
+  out.push_back(flags);
+  PutU64(out, options_.encrypt ? nonce : 0);
+  Append(out, ByteView(mac.data(), mac.size()));
+  Append(out, View(processed));
+  return out;
+}
+
+Result<Bytes> Envelope::Decode(ByteView enveloped) const {
+  if (enveloped.size() < kHeaderSize) {
+    return Status::Corruption("envelope shorter than header");
+  }
+  if (GetU32(enveloped.data()) != kMagic) {
+    return Status::Corruption("bad envelope magic");
+  }
+  const std::uint8_t flags = enveloped[4];
+  const std::uint64_t nonce = GetU64(enveloped.data() + 5);
+
+  MacTag stored_mac;
+  std::memcpy(stored_mac.data(), enveloped.data() + 13, stored_mac.size());
+  const ByteView payload = enveloped.subspan(kHeaderSize);
+
+  stats_.bytes_macced.Add(payload.size());
+  const MacTag actual = HmacSha1(ByteView(mac_key_.data(), mac_key_.size()), payload);
+  if (!MacEqual(stored_mac, actual)) {
+    return Status::Corruption("object MAC mismatch");
+  }
+
+  Bytes processed(payload.begin(), payload.end());
+  if (flags & kFlagEncrypted) {
+    stats_.bytes_encrypted.Add(processed.size());
+    Aes128 aes(enc_key_);
+    processed = aes.Ctr(View(processed), nonce);
+  }
+  if (flags & kFlagCompressed) {
+    auto plain = Lzss::Decompress(View(processed));
+    if (!plain) return Status::Corruption("LZSS stream corrupt");
+    stats_.bytes_decompressed.Add(plain->size());
+    return std::move(*plain);
+  }
+  return processed;
+}
+
+}  // namespace ginja

@@ -1,0 +1,67 @@
+// Object envelope: the on-cloud byte format of every Ginja object.
+//
+// Encoding applies, in order: LZSS compression (optional) → AES-128-CTR
+// encryption (optional) → HMAC-SHA1 over the processed payload (always,
+// §5.4: "basic integrity protection by storing a MAC of each object
+// together with it"). Decoding verifies the MAC before doing anything
+// else and reverses the pipeline.
+//
+// Layout:
+//   magic   u32   'GNJ1'
+//   flags   u8    bit0 = compressed, bit1 = encrypted
+//   nonce   u64   CTR nonce (0 when not encrypted)
+//   mac     20B   HMAC-SHA1(key, payload)
+//   payload ...
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/codec/aes128.h"
+#include "common/codec/hmac.h"
+#include "common/result.h"
+#include "common/stats.h"
+
+namespace ginja {
+
+struct EnvelopeOptions {
+  bool compress = false;
+  bool encrypt = false;
+  // Password for key derivation. When encryption is off, only the MAC key is
+  // derived from it (paper: a default configuration string).
+  std::string password = "ginja-default-mac-key";
+};
+
+// Cumulative work counters, consumed by the Table-4 resource-usage model.
+struct CodecStats {
+  Counter bytes_compressed;    // plaintext bytes through the compressor
+  Counter bytes_decompressed;
+  Counter bytes_encrypted;     // bytes through AES-CTR (either direction)
+  Counter bytes_macced;        // bytes through HMAC
+};
+
+class Envelope {
+ public:
+  explicit Envelope(EnvelopeOptions options);
+
+  // Encodes a payload for upload. Nonce must be unique per object; Ginja
+  // uses the object timestamp.
+  Bytes Encode(ByteView payload, std::uint64_t nonce) const;
+
+  // Verifies the MAC and reverses compression/encryption.
+  Result<Bytes> Decode(ByteView enveloped) const;
+
+  const EnvelopeOptions& options() const { return options_; }
+  const CodecStats& stats() const { return stats_; }
+
+  static constexpr std::size_t kHeaderSize = 4 + 1 + 8 + 20;
+
+ private:
+  EnvelopeOptions options_;
+  std::array<std::uint8_t, 16> enc_key_;
+  std::array<std::uint8_t, 16> mac_key_;
+  mutable CodecStats stats_;
+};
+
+}  // namespace ginja

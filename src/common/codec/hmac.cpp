@@ -1,0 +1,56 @@
+#include "common/codec/hmac.h"
+
+#include <cstring>
+
+namespace ginja {
+
+MacTag HmacSha1(ByteView key, ByteView data) {
+  constexpr std::size_t kBlock = 64;
+  std::uint8_t key_block[kBlock] = {};
+  if (key.size() > kBlock) {
+    const auto d = Sha1::Hash(key);
+    std::memcpy(key_block, d.data(), d.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[kBlock], opad[kBlock];
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5C;
+  }
+
+  Sha1 inner;
+  inner.Update(ByteView(ipad, kBlock));
+  inner.Update(data);
+  const auto inner_digest = inner.Finish();
+
+  Sha1 outer;
+  outer.Update(ByteView(opad, kBlock));
+  outer.Update(ByteView(inner_digest.data(), inner_digest.size()));
+  return outer.Finish();
+}
+
+bool MacEqual(const MacTag& a, const MacTag& b) {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+std::array<std::uint8_t, 16> DeriveKey(std::string_view password,
+                                       std::string_view salt, int iterations) {
+  Bytes seed = ToBytes(password);
+  Append(seed, View(ToBytes(salt)));
+  Sha1::Digest d = Sha1::Hash(View(seed));
+  for (int i = 1; i < iterations; ++i) {
+    Sha1 h;
+    h.Update(ByteView(d.data(), d.size()));
+    h.Update(View(seed));
+    d = h.Finish();
+  }
+  std::array<std::uint8_t, 16> key{};
+  std::memcpy(key.data(), d.data(), key.size());
+  return key;
+}
+
+}  // namespace ginja

@@ -1,0 +1,31 @@
+// HMAC-SHA1 (RFC 2104) built on the from-scratch SHA-1.
+//
+// Ginja stores a MAC with every cloud object (§5.4). The MAC key is derived
+// from a user password when encryption is enabled, otherwise from a default
+// configuration string — both reproduced here via a PBKDF-like iterated
+// hash in DeriveKey().
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/codec/sha1.h"
+
+namespace ginja {
+
+using MacTag = Sha1::Digest;  // 20 bytes
+
+// Computes HMAC-SHA1(key, data).
+MacTag HmacSha1(ByteView key, ByteView data);
+
+// Constant-time tag comparison.
+bool MacEqual(const MacTag& a, const MacTag& b);
+
+// Derives a fixed-size key from a password/config string by iterated
+// salted hashing (stand-in for a real KDF; shape-preserving per DESIGN.md).
+std::array<std::uint8_t, 16> DeriveKey(std::string_view password,
+                                       std::string_view salt,
+                                       int iterations = 4096);
+
+}  // namespace ginja

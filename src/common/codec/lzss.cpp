@@ -1,0 +1,134 @@
+#include "common/codec/lzss.h"
+
+#include <cstring>
+#include <vector>
+
+namespace ginja {
+
+namespace {
+
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+constexpr int kMaxChainProbes = 16;  // "fastest" profile: few probes
+
+inline std::uint32_t HashAt(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+Bytes Lzss::Compress(ByteView input) {
+  Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  PutVarint(out, input.size());
+  if (input.empty()) return out;
+
+  // Hash chains: head[h] = most recent position with hash h; prev[i] = the
+  // previous position with the same hash as i.
+  std::vector<std::int32_t> head(kHashSize, -1);
+  std::vector<std::int32_t> prev(input.size(), -1);
+
+  Bytes pending;          // token payload bytes for the current flag group
+  std::uint8_t flags = 0; // bit i set => token i is a match
+  int flag_count = 0;
+  std::size_t flag_pos = out.size();
+  out.push_back(0);  // placeholder for first control byte
+
+  auto flush_group = [&](bool start_new) {
+    out[flag_pos] = flags;
+    Append(out, View(pending));
+    pending.clear();
+    flags = 0;
+    flag_count = 0;
+    if (start_new) {
+      flag_pos = out.size();
+      out.push_back(0);
+    }
+  };
+
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (pos + kMinMatch <= input.size()) {
+      const std::uint32_t h = HashAt(input.data() + pos);
+      std::int32_t cand = head[h];
+      const std::size_t max_len = std::min(kMaxMatch, input.size() - pos);
+      for (int probes = 0; cand >= 0 && probes < kMaxChainProbes; ++probes) {
+        const std::size_t dist = pos - static_cast<std::size_t>(cand);
+        if (dist > kWindow) break;
+        std::size_t len = 0;
+        const std::uint8_t* a = input.data() + cand;
+        const std::uint8_t* b = input.data() + pos;
+        while (len < max_len && a[len] == b[len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = dist;
+          if (len == max_len) break;
+        }
+        cand = prev[cand];
+      }
+    }
+
+    if (best_len >= kMinMatch) {
+      flags |= static_cast<std::uint8_t>(1u << flag_count);
+      PutVarint(pending, best_dist);
+      PutVarint(pending, best_len - kMinMatch);
+      // Insert hash entries for every covered position (cheap, improves
+      // later matches on page-structured data).
+      const std::size_t end = pos + best_len;
+      for (; pos < end && pos + kMinMatch <= input.size(); ++pos) {
+        const std::uint32_t h = HashAt(input.data() + pos);
+        prev[pos] = head[h];
+        head[h] = static_cast<std::int32_t>(pos);
+      }
+      pos = end;
+    } else {
+      pending.push_back(input[pos]);
+      if (pos + kMinMatch <= input.size()) {
+        const std::uint32_t h = HashAt(input.data() + pos);
+        prev[pos] = head[h];
+        head[h] = static_cast<std::int32_t>(pos);
+      }
+      ++pos;
+    }
+
+    if (++flag_count == 8) flush_group(pos < input.size());
+  }
+  if (flag_count > 0) flush_group(false);
+  return out;
+}
+
+std::optional<Bytes> Lzss::Decompress(ByteView input) {
+  std::size_t pos = 0;
+  const auto orig_size = GetVarint(input, pos);
+  if (!orig_size) return std::nullopt;
+  Bytes out;
+  out.reserve(*orig_size);
+
+  while (out.size() < *orig_size) {
+    if (pos >= input.size()) return std::nullopt;
+    const std::uint8_t flags = input[pos++];
+    for (int bit = 0; bit < 8 && out.size() < *orig_size; ++bit) {
+      if (flags & (1u << bit)) {
+        const auto dist = GetVarint(input, pos);
+        const auto len_enc = GetVarint(input, pos);
+        if (!dist || !len_enc || *dist == 0 || *dist > out.size()) {
+          return std::nullopt;
+        }
+        const std::size_t len = *len_enc + Lzss::kMinMatch;
+        const std::size_t start = out.size() - *dist;
+        for (std::size_t i = 0; i < len; ++i) out.push_back(out[start + i]);
+      } else {
+        if (pos >= input.size()) return std::nullopt;
+        out.push_back(input[pos++]);
+      }
+    }
+  }
+  if (out.size() != *orig_size) return std::nullopt;
+  return out;
+}
+
+}  // namespace ginja

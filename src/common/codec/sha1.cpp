@@ -1,0 +1,113 @@
+#include "common/codec/sha1.h"
+
+#include <cstring>
+
+namespace ginja {
+
+namespace {
+inline std::uint32_t Rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+}  // namespace
+
+Sha1::Sha1() { Reset(); }
+
+void Sha1::Reset() {
+  h_[0] = 0x67452301u;
+  h_[1] = 0xEFCDAB89u;
+  h_[2] = 0x98BADCFEu;
+  h_[3] = 0x10325476u;
+  h_[4] = 0xC3D2E1F0u;
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+void Sha1::ProcessBlock(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (static_cast<std::uint32_t>(block[t * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[t * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[t * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[t * 4 + 3]);
+  }
+  for (int t = 16; t < 80; ++t) {
+    w[t] = Rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int t = 0; t < 80; ++t) {
+    std::uint32_t f, k;
+    if (t < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t tmp = Rotl(a, 5) + f + e + k + w[t];
+    e = d;
+    d = c;
+    c = Rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::Update(ByteView data) {
+  total_bytes_ += data.size();
+  std::size_t pos = 0;
+  if (buffered_ > 0) {
+    const std::size_t need = 64 - buffered_;
+    const std::size_t take = std::min(need, data.size());
+    std::memcpy(buffer_ + buffered_, data.data(), take);
+    buffered_ += take;
+    pos = take;
+    if (buffered_ == 64) {
+      ProcessBlock(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (pos + 64 <= data.size()) {
+    ProcessBlock(data.data() + pos);
+    pos += 64;
+  }
+  if (pos < data.size()) {
+    std::memcpy(buffer_, data.data() + pos, data.size() - pos);
+    buffered_ = data.size() - pos;
+  }
+}
+
+Sha1::Digest Sha1::Finish() {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  const std::uint8_t pad_byte = 0x80;
+  Update(ByteView(&pad_byte, 1));
+  const std::uint8_t zero = 0;
+  while (buffered_ != 56) Update(ByteView(&zero, 1));
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+  }
+  Update(ByteView(len_be, 8));
+
+  Digest out{};
+  for (int i = 0; i < 5; ++i) {
+    out[i * 4] = static_cast<std::uint8_t>(h_[i] >> 24);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(h_[i]);
+  }
+  return out;
+}
+
+}  // namespace ginja

@@ -1,0 +1,42 @@
+// SHA-1 (FIPS 180-4) implemented from scratch.
+//
+// The paper's prototype "implements ... MACs using SHA-1" (§6). SHA-1 is no
+// longer collision-resistant, but as a MAC primitive under HMAC it is still
+// sound — and we reproduce the paper's exact choice. Validated against the
+// FIPS/RFC 3174 test vectors in tests/common/codec_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace ginja {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha1();
+
+  void Update(ByteView data);
+  Digest Finish();  // one-shot: object unusable afterwards until Reset()
+  void Reset();
+
+  static Digest Hash(ByteView data) {
+    Sha1 h;
+    h.Update(data);
+    return h.Finish();
+  }
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::uint32_t h_[5];
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace ginja

@@ -1,0 +1,44 @@
+// SHA-256 (FIPS 180-4) implemented from scratch.
+//
+// Required by the AWS Signature Version 4 request signing that the
+// wire-level S3 client/server pair uses (src/cloud/s3). Validated against
+// the FIPS vectors and RFC 4231 HMAC vectors in the codec tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace ginja {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  void Update(ByteView data);
+  Digest Finish();
+  void Reset();
+
+  static Digest Hash(ByteView data) {
+    Sha256 h;
+    h.Update(data);
+    return h.Finish();
+  }
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::uint32_t h_[8];
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+// HMAC-SHA256 (RFC 2104 over SHA-256) — the SigV4 key-derivation primitive.
+Sha256::Digest HmacSha256(ByteView key, ByteView data);
+
+}  // namespace ginja

@@ -1,0 +1,128 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace ginja {
+
+namespace {
+
+std::string Trim(std::string_view s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string_view::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return std::string(s.substr(begin, end - begin + 1));
+}
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+Result<ConfigFile> ConfigFile::Parse(std::string_view text) {
+  ConfigFile config;
+  std::string section;
+  int line_number = 0;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == ';') continue;
+    if (trimmed.front() == '[') {
+      if (trimmed.back() != ']' || trimmed.size() < 3) {
+        return Status::InvalidArgument("malformed section at line " +
+                                       std::to_string(line_number));
+      }
+      section = Lower(Trim(trimmed.substr(1, trimmed.size() - 2)));
+      continue;
+    }
+    const auto eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("expected key=value at line " +
+                                     std::to_string(line_number));
+    }
+    const std::string key = Lower(Trim(trimmed.substr(0, eq)));
+    if (key.empty()) {
+      return Status::InvalidArgument("empty key at line " +
+                                     std::to_string(line_number));
+    }
+    config.values_[section.empty() ? key : section + "." + key] =
+        Trim(trimmed.substr(eq + 1));
+  }
+  return config;
+}
+
+Result<ConfigFile> ConfigFile::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str());
+}
+
+std::optional<std::string> ConfigFile::GetString(const std::string& key) const {
+  auto it = values_.find(Lower(key));
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::int64_t> ConfigFile::GetInt(const std::string& key) const {
+  auto value = GetString(key);
+  if (!value) return std::nullopt;
+  std::int64_t out = 0;
+  auto [ptr, ec] =
+      std::from_chars(value->data(), value->data() + value->size(), out);
+  if (ec != std::errc() || ptr != value->data() + value->size()) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+std::optional<double> ConfigFile::GetDouble(const std::string& key) const {
+  auto value = GetString(key);
+  if (!value) return std::nullopt;
+  try {
+    std::size_t consumed = 0;
+    const double out = std::stod(*value, &consumed);
+    if (consumed != value->size()) return std::nullopt;
+    return out;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::optional<bool> ConfigFile::GetBool(const std::string& key) const {
+  auto value = GetString(key);
+  if (!value) return std::nullopt;
+  const std::string v = Lower(*value);
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  return std::nullopt;
+}
+
+std::string ConfigFile::GetStringOr(const std::string& key,
+                                    std::string fallback) const {
+  return GetString(key).value_or(std::move(fallback));
+}
+
+std::int64_t ConfigFile::GetIntOr(const std::string& key,
+                                  std::int64_t fallback) const {
+  return GetInt(key).value_or(fallback);
+}
+
+double ConfigFile::GetDoubleOr(const std::string& key, double fallback) const {
+  return GetDouble(key).value_or(fallback);
+}
+
+bool ConfigFile::GetBoolOr(const std::string& key, bool fallback) const {
+  return GetBool(key).value_or(fallback);
+}
+
+}  // namespace ginja

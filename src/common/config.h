@@ -1,0 +1,47 @@
+// INI-style configuration files for the operator tooling (ginja_ctl).
+//
+//   # comment
+//   [ginja]
+//   batch = 100
+//   safety = 1000
+//   compress = true
+//
+// Sections group keys; lookups use "section.key". Values are strings with
+// typed accessors; parse errors carry line numbers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace ginja {
+
+class ConfigFile {
+ public:
+  static Result<ConfigFile> Parse(std::string_view text);
+  static Result<ConfigFile> Load(const std::string& path);
+
+  // "section.key" lookups; keys outside any section use "" as section.
+  std::optional<std::string> GetString(const std::string& key) const;
+  std::optional<std::int64_t> GetInt(const std::string& key) const;
+  std::optional<double> GetDouble(const std::string& key) const;
+  // Accepts true/false, yes/no, on/off, 1/0 (case-insensitive).
+  std::optional<bool> GetBool(const std::string& key) const;
+
+  std::string GetStringOr(const std::string& key, std::string fallback) const;
+  std::int64_t GetIntOr(const std::string& key, std::int64_t fallback) const;
+  double GetDoubleOr(const std::string& key, double fallback) const;
+  bool GetBoolOr(const std::string& key, bool fallback) const;
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string> values_;  // "section.key" -> value
+};
+
+}  // namespace ginja

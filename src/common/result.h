@@ -1,0 +1,114 @@
+// Lightweight Status / Result<T> error propagation.
+//
+// Cloud and file-system operations fail for reasons the caller must handle
+// (object not found, injected outage, I/O error), so those APIs return
+// `Result<T>` instead of throwing. Programming errors still assert.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ginja {
+
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kUnavailable,    // transient: cloud outage, injected fault
+  kCorruption,     // MAC mismatch, bad envelope, torn record
+  kInvalidArgument,
+  kAborted,        // queue closed, system shutting down
+  kIoError,
+};
+
+inline const char* ErrorCodeName(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kCorruption: return "CORRUPTION";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kAborted: return "ABORTED";
+    case ErrorCode::kIoError: return "IO_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m = "") { return {ErrorCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m = "") { return {ErrorCode::kAlreadyExists, std::move(m)}; }
+  static Status Unavailable(std::string m = "") { return {ErrorCode::kUnavailable, std::move(m)}; }
+  static Status Corruption(std::string m = "") { return {ErrorCode::kCorruption, std::move(m)}; }
+  static Status InvalidArgument(std::string m = "") { return {ErrorCode::kInvalidArgument, std::move(m)}; }
+  static Status Aborted(std::string m = "") { return {ErrorCode::kAborted, std::move(m)}; }
+  static Status IoError(std::string m = "") { return {ErrorCode::kIoError, std::move(m)}; }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = ErrorCodeName(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) { // NOLINT: implicit by design
+    assert(!status_.ok() && "Result from status requires an error");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define GINJA_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::ginja::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace ginja

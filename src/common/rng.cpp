@@ -1,0 +1,23 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace ginja {
+
+double SplitMix64::NextGaussian(double mean, double stddev) {
+  // Box–Muller; avoid log(0) by nudging u1 away from zero.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-12) u1 = 1e-12;
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+std::int64_t NuRand(SplitMix64& rng, std::int64_t a, std::int64_t x, std::int64_t y,
+                    std::int64_t c_const) {
+  const std::int64_t r1 = rng.NextInRange(0, a);
+  const std::int64_t r2 = rng.NextInRange(x, y);
+  return (((r1 | r2) + c_const) % (y - x + 1)) + x;
+}
+
+}  // namespace ginja

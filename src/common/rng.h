@@ -1,0 +1,47 @@
+// Deterministic seedable random-number generation.
+//
+// All stochastic behaviour in the repo (latency jitter, TPC-C keys, failure
+// injection) flows through these generators so that every test and benchmark
+// is reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+
+namespace ginja {
+
+// SplitMix64 — tiny, fast, and good enough for simulation/jitter purposes.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(NextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Gaussian via Box–Muller (cheap enough for jitter).
+  double NextGaussian(double mean, double stddev);
+
+ private:
+  std::uint64_t state_;
+};
+
+// TPC-C's NURand non-uniform distribution (clause 2.1.6).
+// A is 255 for C_LAST, 1023 for C_ID, 8191 for OL_I_ID.
+std::int64_t NuRand(SplitMix64& rng, std::int64_t a, std::int64_t x, std::int64_t y,
+                    std::int64_t c_const);
+
+}  // namespace ginja

@@ -1,0 +1,124 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ginja {
+
+void Meter::Record(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+std::uint64_t Meter::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Meter::Sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Meter::Mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+}
+
+double Meter::Min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Meter::Max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+void Meter::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  sum_ = min_ = max_ = 0;
+}
+
+Histogram::Histogram() = default;
+
+int Histogram::BucketFor(double v) {
+  if (v < 1.0) return 0;
+  // Geometric: bucket i covers [1.4^i, 1.4^(i+1)).
+  int b = static_cast<int>(std::log(v) / std::log(1.4));
+  return std::clamp(b, 0, kBuckets - 1);
+}
+
+double Histogram::BucketUpper(int b) { return std::pow(1.4, b + 1); }
+
+void Histogram::Record(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counts_[BucketFor(v)]++;
+  ++total_;
+  sum_ += v;
+  max_ = std::max(max_, v);
+}
+
+std::uint64_t Histogram::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+double Histogram::Mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ == 0 ? 0 : sum_ / static_cast<double>(total_);
+}
+
+double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (total_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += counts_[b];
+    if (seen > target) return BucketUpper(b);
+  }
+  return max_;
+}
+
+double Histogram::Max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(std::begin(counts_), std::end(counts_), 0);
+  total_ = 0;
+  sum_ = 0;
+  max_ = 0;
+}
+
+std::string HumanCount(double n) {
+  char buf[32];
+  if (n >= 1e9) std::snprintf(buf, sizeof buf, "%.2fG", n / 1e9);
+  else if (n >= 1e6) std::snprintf(buf, sizeof buf, "%.2fM", n / 1e6);
+  else if (n >= 1e3) std::snprintf(buf, sizeof buf, "%.2fk", n / 1e3);
+  else std::snprintf(buf, sizeof buf, "%.0f", n);
+  return buf;
+}
+
+std::string HumanBytes(double n) {
+  char buf[32];
+  if (n >= 1024.0 * 1024 * 1024) std::snprintf(buf, sizeof buf, "%.2fGB", n / (1024.0 * 1024 * 1024));
+  else if (n >= 1024.0 * 1024) std::snprintf(buf, sizeof buf, "%.2fMB", n / (1024.0 * 1024));
+  else if (n >= 1024.0) std::snprintf(buf, sizeof buf, "%.1fkB", n / 1024.0);
+  else std::snprintf(buf, sizeof buf, "%.0fB", n);
+  return buf;
+}
+
+}  // namespace ginja

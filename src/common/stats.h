@@ -1,0 +1,77 @@
+// Metrics primitives: counters, gauges, and a log-bucketed histogram.
+//
+// Benchmarks report the same quantities the paper tables do (PUT counts,
+// object sizes, latencies, Tpm-C / Tpm-Total), all collected through this
+// header so collection is thread-safe and allocation-free on hot paths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ginja {
+
+class Counter {
+ public:
+  void Add(std::uint64_t v = 1) { value_.fetch_add(v, std::memory_order_relaxed); }
+  std::uint64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Running mean/min/max/sum with exact totals; thread-safe.
+class Meter {
+ public:
+  void Record(double v);
+
+  std::uint64_t Count() const;
+  double Sum() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Histogram with geometric buckets; supports approximate quantiles. Bounds
+// cover 1 us .. ~1200 s of latency when values are in microseconds.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(double v);
+  std::uint64_t Count() const;
+  double Mean() const;
+  // q in [0,1]; returns an approximate value at that quantile.
+  double Quantile(double q) const;
+  double Max() const;
+  void Reset();
+
+ private:
+  static constexpr int kBuckets = 64;
+  static int BucketFor(double v);
+  static double BucketUpper(int b);
+
+  mutable std::mutex mu_;
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+  double sum_ = 0;
+  double max_ = 0;
+};
+
+// Formats n as "1.23k"/"4.5M" style for table output.
+std::string HumanCount(double n);
+// Formats a byte count as "386kB"/"10.1MB".
+std::string HumanBytes(double n);
+
+}  // namespace ginja

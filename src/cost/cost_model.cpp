@@ -1,0 +1,64 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ginja {
+
+namespace {
+constexpr double kMinutesPerMonth = 30.0 * 24 * 60;
+}  // namespace
+
+CostBreakdown CostModel::Monthly() const {
+  CostBreakdown out;
+
+  // C_DB_Storage = DBSize × 1.25 / CR × CStorage — the 150% dump threshold
+  // makes the average cloud DB footprint 25% above the local size.
+  out.db_storage = p_.db_size_gb * 1.25 / p_.compression_rate *
+                   p_.prices.storage_gb_month;
+
+  // C_DB_PUT = (minutes-per-month / CkptPeriod) × (CkptSize / 20MB) × CPUT
+  const double checkpoints_per_month = kMinutesPerMonth / p_.checkpoint_period_min;
+  const double puts_per_checkpoint =
+      std::ceil(p_.avg_checkpoint_size_mb / p_.max_object_mb);
+  out.db_put = checkpoints_per_month * puts_per_checkpoint * p_.prices.per_put;
+
+  // C_WAL_Storage = (W × CkptTime / RecPerPage + 1) × PageSize/CR × CStorage
+  const double ckpt_time_min =
+      p_.checkpoint_period_min + p_.checkpoint_duration_min;
+  const double wal_pages =
+      p_.updates_per_minute * ckpt_time_min / p_.records_per_page + 1.0;
+  const double page_gb = p_.wal_page_bytes / (1024.0 * 1024.0 * 1024.0);
+  out.wal_storage =
+      wal_pages * page_gb / p_.compression_rate * p_.prices.storage_gb_month;
+
+  // C_WAL_PUT = (W × minutes-per-month / B) × CPUT
+  out.wal_put =
+      p_.updates_per_minute * kMinutesPerMonth / p_.batch * p_.prices.per_put;
+
+  return out;
+}
+
+double CostModel::RecoveryCost(bool colocated_vm) const {
+  if (colocated_vm) return 0.0;  // same-region S3→EC2 transfers are free
+  const CostBreakdown monthly = Monthly();
+  return 4.0 * (monthly.db_storage + monthly.wal_storage);
+}
+
+double MaxSyncsPerHourForBudget(double db_size_gb, double budget_dollars,
+                                const PriceBook& prices) {
+  const double storage = db_size_gb * prices.storage_gb_month;
+  const double remaining = budget_dollars - storage;
+  if (remaining <= 0) return 0;
+  const double puts = remaining / prices.per_put;  // affordable PUTs/month
+  return puts / (30.0 * 24.0);
+}
+
+double MaxDbSizeForBudget(double syncs_per_hour, double budget_dollars,
+                          const PriceBook& prices) {
+  const double put_cost = syncs_per_hour * 30.0 * 24.0 * prices.per_put;
+  const double remaining = budget_dollars - put_cost;
+  return std::max(0.0, remaining / prices.storage_gb_month);
+}
+
+}  // namespace ginja

@@ -1,0 +1,70 @@
+// Ginja's monetary cost model — a faithful implementation of paper §7.
+//
+//   C_Total = C_DB_Storage + C_DB_PUT + C_WAL_Storage + C_WAL_PUT
+//
+// with the four components computed exactly as in the paper's equations,
+// plus the recovery-cost approximation of §7.3 and the Figure-1 budget
+// inversion (max synchronisations/hour for a given database size and
+// monthly budget).
+#pragma once
+
+#include <cstdint>
+
+#include "cloud/price_book.h"
+
+namespace ginja {
+
+struct CostModelParams {
+  double db_size_gb = 10.0;
+  double updates_per_minute = 100.0;  // W
+  double checkpoint_period_min = 60.0;
+  // CkptTime in the WAL-storage equation: period + duration + upload time.
+  double checkpoint_duration_min = 20.0;
+  double wal_page_bytes = 8192.0;
+  double records_per_page = 75.0;     // RecPerPage
+  double compression_rate = 1.0;      // CR (1.43 in Fig. 4: 1 MB -> 700 kB)
+  double batch = 100.0;               // B: updates per cloud synchronization
+  double max_object_mb = 20.0;        // objects split at this size (§5.2 fn.3)
+  double avg_checkpoint_size_mb = 20.0;  // CkptSize
+  PriceBook prices = PriceBook::AmazonS3May2017();
+};
+
+struct CostBreakdown {
+  double db_storage = 0;
+  double db_put = 0;
+  double wal_storage = 0;
+  double wal_put = 0;
+  double Total() const { return db_storage + db_put + wal_storage + wal_put; }
+};
+
+class CostModel {
+ public:
+  explicit CostModel(CostModelParams params) : p_(params) {}
+
+  // Monthly cost in dollars, per the four §7.1 equations.
+  CostBreakdown Monthly() const;
+
+  // §7.3: recovery ≈ 4 × (C_DB_Storage + C_WAL_Storage) — i.e. egress at
+  // ~4× the monthly storage price — plus (negligible) GET costs.
+  // Zero when recovering into a VM colocated with the bucket.
+  double RecoveryCost(bool colocated_vm = false) const;
+
+  const CostModelParams& params() const { return p_; }
+
+ private:
+  CostModelParams p_;
+};
+
+// Figure 1: for a database of `db_size_gb`, the maximum number of cloud
+// synchronizations per hour that keeps the monthly cost under `budget`.
+// Uses the paper's Figure-1 simplification: cost = storage (size × price)
+// + PUT cost of the synchronizations; returns 0 when storage alone
+// exceeds the budget.
+double MaxSyncsPerHourForBudget(double db_size_gb, double budget_dollars,
+                                const PriceBook& prices);
+
+// The inverse: largest database (GB) affordable at `syncs_per_hour`.
+double MaxDbSizeForBudget(double syncs_per_hour, double budget_dollars,
+                          const PriceBook& prices);
+
+}  // namespace ginja

@@ -1,0 +1,144 @@
+#include "db/layout.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/codec/crc32.h"
+
+namespace ginja {
+
+DbLayout DbLayout::Postgres() {
+  DbLayout l;
+  l.flavor = DbFlavor::kPostgres;
+  l.wal_page_size = 8192;
+  l.wal_segment_size = 16 * 1024 * 1024;
+  l.data_page_size = 8192;
+  l.circular_wal = false;
+  l.wal_file_count = 1;
+  l.wal_header_pages = 0;
+  return l;
+}
+
+DbLayout DbLayout::MySql() {
+  DbLayout l;
+  l.flavor = DbFlavor::kMySql;
+  l.wal_page_size = 512;
+  l.wal_segment_size = 48 * 1024 * 1024;
+  l.data_page_size = 16384;
+  l.circular_wal = true;
+  l.wal_file_count = 2;
+  l.wal_header_pages = 4;  // ib_logfile0 offsets 0, 512, 1024, 1536
+  return l;
+}
+
+DbLayout::WalLocation DbLayout::LocateWalPage(std::uint64_t logical_page) const {
+  if (!circular_wal) {
+    const std::uint64_t segment = logical_page / PagesPerSegment();
+    const std::uint64_t page_in_segment = logical_page % PagesPerSegment();
+    return {WalFileName(segment), page_in_segment * wal_page_size};
+  }
+  // Circular: slot rotates over the usable pages of the file group; the
+  // first `wal_header_pages` pages of file 0 are reserved for the header.
+  const std::uint64_t slot = logical_page % CircularSlots();
+  const std::uint64_t file0_usable = PagesPerSegment() - wal_header_pages;
+  if (slot < file0_usable) {
+    return {WalFileName(0), (slot + wal_header_pages) * wal_page_size};
+  }
+  const std::uint64_t rest = slot - file0_usable;
+  const std::uint64_t file_index = 1 + rest / PagesPerSegment();
+  return {WalFileName(file_index), (rest % PagesPerSegment()) * wal_page_size};
+}
+
+std::string DbLayout::WalFileName(std::uint64_t file_index) const {
+  if (flavor == DbFlavor::kPostgres) {
+    // PostgreSQL segment naming: timeline 1, 24 hex digits.
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "pg_xlog/%08X%08X%08X", 1u,
+                  static_cast<unsigned>(file_index >> 8),
+                  static_cast<unsigned>(file_index & 0xFF) + 1);
+    return buf;
+  }
+  return "ib_logfile" + std::to_string(file_index);
+}
+
+std::string DbLayout::TableFileName(std::string_view table) const {
+  if (flavor == DbFlavor::kPostgres) {
+    return "base/16384/" + std::string(table);
+  }
+  return std::string(table) + ".ibd";
+}
+
+std::string DbLayout::CatalogFileName() const {
+  return flavor == DbFlavor::kPostgres ? "global/pg_filenode.map" : "ibdata0";
+}
+
+std::string DbLayout::ControlFileName() const {
+  return flavor == DbFlavor::kPostgres ? "global/pg_control" : "ib_logfile0";
+}
+
+std::uint64_t DbLayout::ControlOffset(int slot) const {
+  if (flavor == DbFlavor::kPostgres) return 0;
+  return slot == 0 ? 512 : 1536;  // InnoDB's two checkpoint header slots
+}
+
+FileKind DbLayout::Classify(std::string_view path, std::uint64_t offset) const {
+  if (flavor == DbFlavor::kPostgres) {
+    if (path.starts_with("pg_xlog/")) return FileKind::kWalSegment;
+    if (path.starts_with("pg_clog/")) return FileKind::kClog;
+    if (path == "global/pg_control") return FileKind::kControl;
+    if (path == "global/pg_filenode.map") return FileKind::kCatalog;
+    if (path.starts_with("base/")) return FileKind::kTableData;
+    return FileKind::kOther;
+  }
+  if (path.starts_with("ib_logfile")) {
+    // The first 2048 bytes of ib_logfile0 are the header region; everything
+    // else in the log files is WAL data. Table 1: checkpoint end is a sync
+    // write at offset 512 and/or 1536 of ib_logfile0.
+    if (path == "ib_logfile0" && offset < wal_header_pages * wal_page_size) {
+      return FileKind::kControl;
+    }
+    return FileKind::kWalSegment;
+  }
+  if (path == "ibdata0") return FileKind::kCatalog;
+  if (path.ends_with(".ibd") || path.starts_with("ibdata")) {
+    return FileKind::kTableData;
+  }
+  if (path.ends_with(".frm")) return FileKind::kTableData;
+  return FileKind::kOther;
+}
+
+namespace {
+constexpr std::uint32_t kControlMagic = 0x43544C47u;  // "GLTC"
+}  // namespace
+
+void ControlBlock::EncodeTo(std::uint8_t out[kEncodedSize]) const {
+  Bytes buf;
+  buf.reserve(kEncodedSize);
+  PutU32(buf, kControlMagic);
+  PutU32(buf, 0);  // crc placeholder
+  PutU64(buf, checkpoint_lsn);
+  PutU64(buf, wal_end_hint);
+  PutU64(buf, counter);
+  const std::uint32_t crc = Crc32(ByteView(buf.data() + 8, buf.size() - 8));
+  buf[4] = static_cast<std::uint8_t>(crc);
+  buf[5] = static_cast<std::uint8_t>(crc >> 8);
+  buf[6] = static_cast<std::uint8_t>(crc >> 16);
+  buf[7] = static_cast<std::uint8_t>(crc >> 24);
+  std::memcpy(out, buf.data(), kEncodedSize);
+}
+
+bool ControlBlock::Decode(const std::uint8_t* in, std::size_t len,
+                          ControlBlock* out) {
+  if (len < kEncodedSize) return false;
+  if (GetU32(in) != kControlMagic) return false;
+  const std::uint32_t stored_crc = GetU32(in + 4);
+  if (Crc32(ByteView(in + 8, kEncodedSize - 8)) != stored_crc) return false;
+  out->checkpoint_lsn = GetU64(in + 8);
+  out->wal_end_hint = GetU64(in + 16);
+  out->counter = GetU64(in + 24);
+  return true;
+}
+
+}  // namespace ginja

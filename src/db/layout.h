@@ -1,0 +1,101 @@
+// Database I/O personalities (paper §4, Table 1).
+//
+// The engine in database.h is one transactional storage engine with two
+// on-disk *personalities* that reproduce how PostgreSQL 9.3 and
+// MySQL 5.7/InnoDB lay out and touch their files — because that I/O shape
+// (file names, page sizes, sync-write markers) is the only thing Ginja
+// observes:
+//
+//                      PostgreSQL                MySQL/InnoDB
+//   WAL page           8 kB                      512 B log block
+//   WAL files          16 MB pg_xlog segments    2 × 48 MB circular ib_logfile
+//   data page          8 kB                      16 kB
+//   ckpt begin event   sync write to pg_clog     sync write to a data file
+//   ckpt end event     sync write to pg_control  sync write at offset 512/1536
+//                                                of ib_logfile0
+//   checkpoint style   periodic, full            fuzzy (small batches anytime)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ginja {
+
+using Lsn = std::uint64_t;  // logical byte offset in the WAL record stream
+
+enum class DbFlavor { kPostgres, kMySql };
+
+enum class FileKind {
+  kWalSegment,  // pg_xlog/* or ib_logfile* data region
+  kTableData,   // base/* or *.ibd / ibdata*
+  kClog,        // pg_clog/* (PostgreSQL only; checkpoint-begin marker)
+  kControl,     // global/pg_control, or the ib_logfile0 header region
+  kCatalog,     // table catalog (global/pg_filenode.map or ibdata0 region)
+  kOther,
+};
+
+struct DbLayout {
+  DbFlavor flavor = DbFlavor::kPostgres;
+  std::size_t wal_page_size = 8192;
+  std::size_t wal_segment_size = 16 * 1024 * 1024;
+  std::size_t data_page_size = 8192;
+  bool circular_wal = false;
+  int wal_file_count = 1;        // files live concurrently (MySQL: 2)
+  std::size_t wal_header_pages = 0;  // reserved header pages in first WAL file
+
+  // Page header: crc32 + used + logical page number.
+  static constexpr std::size_t kWalPageHeaderSize = 4 + 2 + 8;
+  std::size_t WalPayloadSize() const { return wal_page_size - kWalPageHeaderSize; }
+  std::size_t PagesPerSegment() const { return wal_segment_size / wal_page_size; }
+
+  // Usable (non-header) WAL page slots across the circular group; for the
+  // append-only PostgreSQL layout this is per-segment and unbounded overall.
+  std::size_t CircularSlots() const {
+    return static_cast<std::size_t>(wal_file_count) * PagesPerSegment() -
+           wal_header_pages;
+  }
+
+  // Maps a logical WAL page number to its file and byte offset.
+  struct WalLocation {
+    std::string file;
+    std::uint64_t offset;
+  };
+  WalLocation LocateWalPage(std::uint64_t logical_page) const;
+
+  std::string WalFileName(std::uint64_t file_index) const;
+  std::string TableFileName(std::string_view table) const;
+  std::string CatalogFileName() const;
+  std::string ControlFileName() const;  // MySQL: ib_logfile0 (header region)
+  std::string ClogFileName() const;     // PostgreSQL only
+
+  // Byte offsets within ControlFileName() where the control block may live.
+  // PostgreSQL: {0}. MySQL: {512, 1536} (InnoDB's two alternating slots).
+  std::uint64_t ControlOffset(int slot) const;
+  int ControlSlotCount() const { return flavor == DbFlavor::kMySql ? 2 : 1; }
+
+  // Classifies a path (and offset — needed to split the MySQL log header
+  // region from its log data region) the same way a Ginja processor must.
+  FileKind Classify(std::string_view path, std::uint64_t offset) const;
+
+  static DbLayout Postgres();
+  static DbLayout MySql();
+  const char* Name() const {
+    return flavor == DbFlavor::kPostgres ? "postgresql" : "mysql";
+  }
+};
+
+// The control block: what pg_control (or InnoDB's log header checkpoint
+// slots) durably records — where redo must start.
+struct ControlBlock {
+  Lsn checkpoint_lsn = 0;
+  Lsn wal_end_hint = 0;   // advisory; recovery still scans to the true end
+  std::uint64_t counter = 0;  // monotonically increasing write counter
+
+  static constexpr std::size_t kEncodedSize = 4 + 4 + 8 + 8 + 8;
+  void EncodeTo(std::uint8_t out[kEncodedSize]) const;
+  // Returns false if magic/crc do not validate.
+  static bool Decode(const std::uint8_t* in, std::size_t len, ControlBlock* out);
+};
+
+}  // namespace ginja

@@ -1,0 +1,104 @@
+// Streaming replication — the Pilot-Light baseline Ginja is compared
+// against (paper §2, §9: PostgreSQL Streaming Replication / MySQL
+// primary-backup replication to a warm VM in the cloud).
+//
+// The primary intercepts its WAL writes (same FileEventListener seam Ginja
+// uses) and ships them over a simulated WAN link to a warm standby that
+// mirrors the WAL files. In synchronous mode every commit waits for the
+// standby's acknowledgement (zero RPO, WAN round-trip on the commit path);
+// in asynchronous mode commits return immediately and the replication lag
+// is the RPO. Failover opens the standby's database — fast, because the
+// standby is warm and its base backup plus shipped WAL are already local.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/blocking_queue.h"
+#include "common/clock.h"
+#include "common/stats.h"
+#include "db/database.h"
+#include "fs/intercept_fs.h"
+#include "fs/mem_fs.h"
+
+namespace ginja {
+
+struct ReplicationConfig {
+  bool synchronous = false;
+  // One-way link latency (model time); the paper's Lisbon↔us-east RTT is
+  // ~90-100 ms, so ~45'000 us one-way.
+  std::uint64_t link_latency_us = 45'000;
+  // Link throughput for shipped WAL bytes.
+  double us_per_kb = 100.0;  // ~10 MB/s
+};
+
+// The warm backup: receives WAL file writes into its own file system
+// (seeded with a base backup of the primary) and can fail over by running
+// normal DBMS crash recovery on what it has.
+class StandbyServer {
+ public:
+  StandbyServer(std::shared_ptr<MemFs> base_backup, DbLayout layout);
+
+  void ApplyWalWrite(const std::string& file, std::uint64_t offset,
+                     const Bytes& data);
+
+  // Promotes the standby: opens the database on the mirrored files.
+  // Returns the warm database, ready to serve.
+  Result<std::unique_ptr<Database>> Failover();
+
+  std::uint64_t writes_received() const { return writes_received_.Get(); }
+
+ private:
+  std::shared_ptr<MemFs> fs_;
+  DbLayout layout_;
+  Counter writes_received_;
+};
+
+// Primary-side shipper. Listens to the interception FS; forwards WAL
+// writes over the simulated link; blocks the commit in synchronous mode.
+class StreamingPrimary : public FileEventListener {
+ public:
+  StreamingPrimary(std::shared_ptr<StandbyServer> standby, DbLayout layout,
+                   std::shared_ptr<Clock> clock, ReplicationConfig config);
+  ~StreamingPrimary() override;
+
+  void OnFileEvent(const FileEvent& event) override;
+
+  // Blocks until every shipped write reached the standby.
+  void Drain();
+  // Severs the link (disaster on the primary). Unshipped writes are lost —
+  // that loss is the asynchronous mode's RPO.
+  void Kill();
+
+  std::uint64_t writes_shipped() const { return shipped_.Get(); }
+  std::uint64_t writes_dropped() const { return dropped_.Get(); }
+
+ private:
+  struct Shipment {
+    std::string file;
+    std::uint64_t offset;
+    Bytes data;
+  };
+  void LinkLoop();
+  std::uint64_t TransferMicros(std::size_t bytes) const;
+
+  std::shared_ptr<StandbyServer> standby_;
+  DbLayout layout_;
+  std::shared_ptr<Clock> clock_;
+  ReplicationConfig config_;
+
+  BlockingQueue<Shipment> link_queue_;
+  std::thread link_thread_;
+  std::mutex mu_;
+  std::condition_variable ack_cv_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t acked_ = 0;
+  bool killed_ = false;
+
+  Counter shipped_;
+  Counter dropped_;
+};
+
+}  // namespace ginja

@@ -1,0 +1,107 @@
+#include "fs/local_fs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace ginja {
+
+namespace fs = std::filesystem;
+
+LocalFs::LocalFs(fs::path root) : root_(std::move(root)) {
+  fs::create_directories(root_);
+}
+
+fs::path LocalFs::PathFor(std::string_view path) const {
+  return root_ / fs::path(path);
+}
+
+Status LocalFs::Write(std::string_view path, std::uint64_t offset,
+                      ByteView data, bool sync) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const fs::path full = PathFor(path);
+  std::error_code ec;
+  fs::create_directories(full.parent_path(), ec);
+  const int fd = ::open(full.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) return Status::IoError("open " + full.string() + ": " + std::strerror(errno));
+  Status st = Status::Ok();
+  const auto written = ::pwrite(fd, data.data(), data.size(),
+                                static_cast<off_t>(offset));
+  if (written != static_cast<ssize_t>(data.size())) {
+    st = Status::IoError("pwrite " + full.string());
+  } else if (sync && ::fdatasync(fd) != 0) {
+    st = Status::IoError("fdatasync " + full.string());
+  }
+  ::close(fd);
+  return st;
+}
+
+Result<Bytes> LocalFs::Read(std::string_view path, std::uint64_t offset,
+                            std::uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const fs::path full = PathFor(path);
+  const int fd = ::open(full.c_str(), O_RDONLY);
+  if (fd < 0) return Status::NotFound(std::string(path));
+  Bytes out(size);
+  const auto n = ::pread(fd, out.data(), size, static_cast<off_t>(offset));
+  ::close(fd);
+  if (n < 0) return Status::IoError("pread " + full.string());
+  out.resize(static_cast<std::size_t>(n));
+  return out;
+}
+
+Result<Bytes> LocalFs::ReadAll(std::string_view path) {
+  auto size = FileSize(path);
+  if (!size.ok()) return size.status();
+  return Read(path, 0, *size);
+}
+
+Result<std::uint64_t> LocalFs::FileSize(std::string_view path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  const auto size = fs::file_size(PathFor(path), ec);
+  if (ec) return Status::NotFound(std::string(path));
+  return static_cast<std::uint64_t>(size);
+}
+
+bool LocalFs::Exists(std::string_view path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  return fs::is_regular_file(PathFor(path), ec);
+}
+
+Status LocalFs::Truncate(std::string_view path, std::uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  fs::resize_file(PathFor(path), size, ec);
+  if (ec) return Status::IoError(ec.message());
+  return Status::Ok();
+}
+
+Status LocalFs::Remove(std::string_view path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  fs::remove(PathFor(path), ec);
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> LocalFs::ListFiles(std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (!it->is_regular_file()) continue;
+    std::string name = fs::relative(it->path(), root_).generic_string();
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    out.push_back(std::move(name));
+  }
+  if (ec) return Status::IoError(ec.message());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ginja

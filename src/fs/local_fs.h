@@ -1,0 +1,37 @@
+// Vfs backed by a real directory, used by the runnable examples so a
+// database directory actually appears on disk (and survives process
+// restarts, enabling genuine crash/recover demonstrations).
+#pragma once
+
+#include <filesystem>
+#include <mutex>
+
+#include "fs/vfs.h"
+
+namespace ginja {
+
+class LocalFs : public Vfs {
+ public:
+  explicit LocalFs(std::filesystem::path root);
+
+  Status Write(std::string_view path, std::uint64_t offset, ByteView data,
+               bool sync) override;
+  Result<Bytes> Read(std::string_view path, std::uint64_t offset,
+                     std::uint64_t size) override;
+  Result<Bytes> ReadAll(std::string_view path) override;
+  Result<std::uint64_t> FileSize(std::string_view path) override;
+  bool Exists(std::string_view path) override;
+  Status Truncate(std::string_view path, std::uint64_t size) override;
+  Status Remove(std::string_view path) override;
+  Result<std::vector<std::string>> ListFiles(std::string_view prefix) override;
+
+  const std::filesystem::path& root() const { return root_; }
+
+ private:
+  std::filesystem::path PathFor(std::string_view path) const;
+
+  std::filesystem::path root_;
+  std::mutex mu_;
+};
+
+}  // namespace ginja

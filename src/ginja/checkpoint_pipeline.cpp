@@ -1,0 +1,312 @@
+#include "ginja/checkpoint_pipeline.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ginja {
+
+CheckpointPipeline::CheckpointPipeline(ObjectStorePtr store,
+                                       std::shared_ptr<CloudView> view,
+                                       std::shared_ptr<Clock> clock,
+                                       const GinjaConfig& config,
+                                       std::shared_ptr<Envelope> envelope,
+                                       VfsPtr local_vfs, DbLayout layout)
+    : store_(std::move(store)),
+      view_(std::move(view)),
+      clock_(std::move(clock)),
+      config_(config),
+      envelope_(std::move(envelope)),
+      local_vfs_(std::move(local_vfs)),
+      layout_(layout) {}
+
+CheckpointPipeline::~CheckpointPipeline() { Kill(); }
+
+void CheckpointPipeline::Start() {
+  thread_ = std::thread([this] { CheckpointerLoop(); });
+}
+
+void CheckpointPipeline::Stop() {
+  queue_.WaitEmpty();
+  queue_.Close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void CheckpointPipeline::Kill() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    killed_ = true;
+  }
+  idle_cv_.notify_all();
+  queue_.Close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void CheckpointPipeline::OnCheckpointBegin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_checkpoint_) return;
+  in_checkpoint_ = true;
+  collected_.clear();
+  // Alg. 3 line 5: the DB object's timestamp is the last WAL-object ts
+  // assigned before the checkpoint began.
+  checkpoint_ts_ = view_->LastAssignedWalTs().value_or(0);
+}
+
+bool CheckpointPipeline::InCheckpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_checkpoint_;
+}
+
+void CheckpointPipeline::AddWrite(FileEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collected_.push_back(std::move(entry));
+}
+
+std::uint64_t CheckpointPipeline::LocalDbSizeBytes() const {
+  auto files = local_vfs_->ListFiles("");
+  if (!files.ok()) return 0;
+  std::uint64_t total = 0;
+  for (const auto& path : *files) {
+    if (layout_.Classify(path, 0) == FileKind::kWalSegment &&
+        layout_.flavor == DbFlavor::kPostgres) {
+      continue;  // pg_xlog segments are not database files
+    }
+    if (layout_.flavor == DbFlavor::kMySql && path.starts_with("ib_logfile")) {
+      continue;  // the redo log (header aside) is not database data
+    }
+    auto size = local_vfs_->FileSize(path);
+    if (size.ok()) total += *size;
+  }
+  return total;
+}
+
+std::vector<FileEntry> CheckpointPipeline::BuildDumpEntries() const {
+  // Paper §5.3: dumps contain every relevant database file except the WAL
+  // segments. For MySQL the checkpoint header lives inside ib_logfile0, so
+  // its header region is added explicitly.
+  std::vector<FileEntry> entries;
+  auto files = local_vfs_->ListFiles("");
+  if (!files.ok()) return entries;
+  for (const auto& path : *files) {
+    if (layout_.flavor == DbFlavor::kPostgres && path.starts_with("pg_xlog/")) {
+      continue;
+    }
+    if (layout_.flavor == DbFlavor::kMySql && path.starts_with("ib_logfile")) {
+      if (path == "ib_logfile0") {
+        auto header = local_vfs_->Read(
+            path, 0, layout_.wal_header_pages * layout_.wal_page_size);
+        if (header.ok() && !header->empty()) {
+          entries.push_back({path, 0, std::move(*header)});
+        }
+      }
+      continue;
+    }
+    auto content = local_vfs_->ReadAll(path);
+    if (content.ok()) entries.push_back({path, 0, std::move(*content)});
+  }
+  return entries;
+}
+
+void CheckpointPipeline::OnCheckpointEnd(Lsn redo_lsn, Lsn wal_frontier) {
+  DbObjectJob job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!in_checkpoint_) return;
+    in_checkpoint_ = false;
+    job.ts = checkpoint_ts_;
+    job.redo_lsn = redo_lsn;
+    job.wal_frontier = wal_frontier;
+    job.entries = std::move(collected_);
+    collected_.clear();
+  }
+
+  // Dump decision (Alg. 3 lines 9–13): when the DB objects in the cloud
+  // reach `dump_threshold` × the local database size, replace them all.
+  const std::uint64_t local_size = LocalDbSizeBytes();
+  const bool need_dump =
+      local_size > 0 &&
+      static_cast<double>(view_->TotalDbBytes()) >=
+          config_.dump_threshold * static_cast<double>(local_size);
+  if (need_dump || view_->DbObjects().empty()) {
+    // Building the dump happens synchronously on the DBMS thread, which is
+    // what guarantees no local DB write races the dump snapshot (§5.3).
+    job.type = DbObjectType::kDump;
+    job.entries = BuildDumpEntries();
+  } else {
+    job.type = DbObjectType::kCheckpoint;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++inflight_jobs_;
+  }
+  queue_.Put(std::move(job));
+}
+
+void CheckpointPipeline::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return killed_ || inflight_jobs_ == 0; });
+}
+
+Status CheckpointPipeline::UploadWithRetry(const std::string& name,
+                                           ByteView payload,
+                                           std::uint64_t nonce) {
+  const Bytes enveloped = envelope_->Encode(payload, nonce);
+  Status st = Status::Unavailable("not attempted");
+  for (int attempt = 0; attempt < config_.max_retries; ++attempt) {
+    st = store_->Put(name, View(enveloped));
+    if (st.ok()) {
+      stats_.db_objects_uploaded.Add();
+      stats_.bytes_uploaded.Add(enveloped.size());
+      return st;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (killed_) return st;
+    }
+    clock_->SleepMicros(config_.retry_backoff_us);
+  }
+  return st;
+}
+
+void CheckpointPipeline::CheckpointerLoop() {
+  while (auto job = queue_.Take()) {
+    // Mark the job done (and wake Drain) no matter how processing exits.
+    struct JobGuard {
+      CheckpointPipeline* self;
+      ~JobGuard() {
+        std::lock_guard<std::mutex> lock(self->mu_);
+        --self->inflight_jobs_;
+        self->idle_cv_.notify_all();
+      }
+    } guard{this};
+
+    // Withhold the DB object until the acknowledged cloud WAL covers the
+    // data its pages may contain; otherwise a disaster in this window
+    // would recover pages "from the future" of the recoverable WAL,
+    // breaking the transaction-history-prefix guarantee.
+    if (wal_frontier_fn_ && job->wal_frontier > 0) {
+      bool aborted = false;
+      while (wal_frontier_fn_() < job->wal_frontier) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (killed_) {
+            aborted = true;
+            break;
+          }
+        }
+        clock_->SleepMicros(1'000);
+      }
+      if (aborted) continue;
+
+      // Re-derive the DB object's timestamp from the first WAL object
+      // whose covered range reaches the checkpoint's content frontier.
+      // The begin-time timestamp (Alg. 3 line 5) can lag the page
+      // contents when aggregation races the checkpoint; using the
+      // covering object keeps point-in-time inclusion exact ("this
+      // checkpoint's data is part of the state as of ts").
+      for (const auto& wal : view_->WalObjects()) {  // ascending ts
+        if (wal.max_lsn >= job->wal_frontier) {
+          job->ts = wal.ts;
+          break;
+        }
+      }
+    }
+    // Split the entries into parts at the object-size limit; large single
+    // entries (e.g. a dumped multi-GB table file) are chunked.
+    std::vector<std::vector<FileEntry>> parts;
+    std::vector<FileEntry> current;
+    std::size_t bytes = 0;
+    auto flush_part = [&] {
+      if (!current.empty()) {
+        parts.push_back(std::move(current));
+        current.clear();
+        bytes = 0;
+      }
+    };
+    for (auto& entry : job->entries) {
+      std::size_t pos = 0;
+      do {
+        const std::size_t chunk =
+            std::min(config_.max_object_bytes, entry.data.size() - pos);
+        if (bytes + chunk > config_.max_object_bytes) flush_part();
+        FileEntry piece;
+        piece.path = entry.path;
+        piece.offset = entry.offset + pos;
+        piece.data.assign(entry.data.begin() + static_cast<long>(pos),
+                          entry.data.begin() + static_cast<long>(pos + chunk));
+        bytes += chunk;
+        current.push_back(std::move(piece));
+        pos += chunk;
+      } while (pos < entry.data.size());
+    }
+    flush_part();
+    if (parts.empty()) parts.push_back({});  // degenerate empty checkpoint
+
+    const std::uint64_t seq = view_->NextCheckpointSeq();
+    bool all_uploaded = true;
+    std::vector<DbObjectId> ids;
+    for (std::uint32_t part = 0; part < parts.size(); ++part) {
+      const Bytes payload = EncodeEntries(parts[part]);
+      DbObjectId id;
+      id.ts = job->ts;
+      id.type = job->type;
+      id.size = payload.size();
+      id.seq = seq;
+      id.redo_lsn = job->redo_lsn;
+      id.part = part;
+      id.total_parts = static_cast<std::uint32_t>(parts.size());
+      const std::string name = id.Encode();
+      // Nonce: unique per DB object part (seq/part disjoint from WAL ts
+      // space by the high bit).
+      const std::uint64_t nonce = (1ull << 63) | (seq << 16) | part;
+      if (!UploadWithRetry(name, View(payload), nonce).ok()) {
+        all_uploaded = false;
+        break;
+      }
+      ids.push_back(id);
+    }
+    if (!all_uploaded) continue;  // leave old state; retry naturally later
+
+    for (const auto& id : ids) view_->AddDb(id);
+    if (job->type == DbObjectType::kDump) {
+      stats_.dumps_uploaded.Add();
+    } else {
+      stats_.checkpoints_uploaded.Add();
+    }
+
+    if (!config_.keep_history) GarbageCollect(*job, seq);
+  }
+}
+
+void CheckpointPipeline::GarbageCollect(const DbObjectJob& job,
+                                        std::uint64_t uploaded_seq) {
+  // Point-in-time retention (§5.4): objects a protected snapshot still
+  // needs are exempt from deletion.
+  std::set<std::string> keep;
+  if (retention_ != nullptr && !retention_->Empty()) {
+    keep = retention_->KeepSet(view_->WalObjects(), view_->DbObjects());
+  }
+
+  // WAL objects fully below the checkpoint's redo point are unreachable by
+  // any future (non-PITR) recovery (Alg. 3 lines 23–25, LSN-safe variant).
+  for (const auto& wal : view_->WalObjectsCoveredBy(job.redo_lsn)) {
+    if (keep.count(wal.Encode()) > 0) continue;
+    if (store_->Delete(wal.Encode()).ok()) {
+      view_->RemoveWal(wal.ts);
+      stats_.wal_objects_deleted.Add();
+    }
+  }
+  // A dump supersedes every older DB object (Alg. 3 lines 26–29).
+  if (job.type == DbObjectType::kDump) {
+    for (const auto& db : view_->DbObjects()) {
+      if (db.seq >= uploaded_seq) continue;
+      if (keep.count(db.Encode()) > 0) continue;
+      if (store_->Delete(db.Encode()).ok()) {
+        view_->RemoveDb(db);
+        stats_.db_objects_deleted.Add();
+      }
+    }
+  }
+}
+
+}  // namespace ginja

@@ -1,0 +1,133 @@
+// The checkpoint pipeline — paper Algorithm 3 / the "Checkpointer" of Fig. 3.
+//
+// The processor feeds it the data-file writes it observes between the
+// checkpoint-begin and checkpoint-end events (Table 1). At checkpoint end
+// the collected writes are packaged as a DB object — an incremental
+// checkpoint, or a full dump when the cloud-side DB volume reaches 150% of
+// the local database size — and a background thread uploads it and then
+// garbage-collects:
+//   * WAL objects whose covered WAL-stream range lies entirely below the
+//     checkpoint's redo LSN (a prefix in ts order; see object_id.h for why
+//     the LSN rule rather than the paper's ts rule);
+//   * on a dump, every older DB object.
+// With `keep_history` (point-in-time recovery, §5.4) nothing is deleted.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cloud/object_store.h"
+#include "common/blocking_queue.h"
+#include "common/clock.h"
+#include "common/codec/envelope.h"
+#include "common/stats.h"
+#include "db/layout.h"
+#include "fs/vfs.h"
+#include "ginja/cloud_view.h"
+#include "ginja/config.h"
+#include "ginja/payload.h"
+#include "ginja/pitr.h"
+
+namespace ginja {
+
+struct CheckpointPipelineStats {
+  Counter checkpoints_uploaded;
+  Counter dumps_uploaded;
+  Counter db_objects_uploaded;   // parts
+  Counter bytes_uploaded;        // enveloped
+  Counter wal_objects_deleted;
+  Counter db_objects_deleted;
+};
+
+class CheckpointPipeline {
+ public:
+  // `local_vfs` is read when building dumps and when sizing the local
+  // database for the 150% rule.
+  CheckpointPipeline(ObjectStorePtr store, std::shared_ptr<CloudView> view,
+                     std::shared_ptr<Clock> clock, const GinjaConfig& config,
+                     std::shared_ptr<Envelope> envelope, VfsPtr local_vfs,
+                     DbLayout layout);
+  ~CheckpointPipeline();
+
+  CheckpointPipeline(const CheckpointPipeline&) = delete;
+  CheckpointPipeline& operator=(const CheckpointPipeline&) = delete;
+
+  void Start();
+  void Stop();   // drains pending uploads
+  void Kill();   // abandons them (crash simulation)
+
+  // -- processor-facing API (called on the DBMS thread) -----------------------
+
+  // First write of a checkpoint: captures the last uploaded-WAL timestamp
+  // (Alg. 3 lines 4–5).
+  void OnCheckpointBegin();
+  bool InCheckpoint() const;
+  // Every data-file write between begin and end (Alg. 3 lines 6–7).
+  void AddWrite(FileEntry entry);
+  // Last write of the checkpoint: packages a DB object and hands it to the
+  // upload thread (Alg. 3 lines 8–16). `redo_lsn` is the checkpoint LSN the
+  // processor parsed from the control-block write; it drives WAL GC.
+  // `wal_frontier` is the highest WAL-stream position the flushed pages can
+  // contain; the upload is withheld until the cloud's acknowledged WAL
+  // covers it, so recovery always sees a transaction-history prefix.
+  void OnCheckpointEnd(Lsn redo_lsn, Lsn wal_frontier = 0);
+
+  // Provider of the commit pipeline's acknowledged WAL frontier.
+  void SetWalFrontierFn(std::function<Lsn()> fn) { wal_frontier_fn_ = std::move(fn); }
+
+  void Drain();
+
+  // Selective point-in-time retention (§5.4): garbage collection keeps the
+  // objects each protected snapshot needs, pruning everything in between.
+  void SetRetentionPolicy(std::shared_ptr<RetentionPolicy> policy) {
+    retention_ = std::move(policy);
+  }
+
+  // Bytes of all non-WAL database files on local disk (the 150% baseline).
+  std::uint64_t LocalDbSizeBytes() const;
+
+  const CheckpointPipelineStats& stats() const { return stats_; }
+
+ private:
+  struct DbObjectJob {
+    DbObjectType type = DbObjectType::kCheckpoint;
+    std::uint64_t ts = 0;
+    Lsn redo_lsn = 0;
+    Lsn wal_frontier = 0;  // upload gate: cloud WAL must reach this first
+    std::vector<FileEntry> entries;
+  };
+
+  void CheckpointerLoop();
+  std::vector<FileEntry> BuildDumpEntries() const;
+  Status UploadWithRetry(const std::string& name, ByteView payload,
+                         std::uint64_t nonce);
+  void GarbageCollect(const DbObjectJob& job, std::uint64_t uploaded_seq);
+
+  ObjectStorePtr store_;
+  std::shared_ptr<CloudView> view_;
+  std::shared_ptr<Clock> clock_;
+  GinjaConfig config_;
+  std::shared_ptr<Envelope> envelope_;
+  VfsPtr local_vfs_;
+  DbLayout layout_;
+  std::shared_ptr<RetentionPolicy> retention_;
+  std::function<Lsn()> wal_frontier_fn_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  bool in_checkpoint_ = false;
+  std::uint64_t checkpoint_ts_ = 0;
+  std::vector<FileEntry> collected_;
+  bool killed_ = false;
+  std::uint64_t inflight_jobs_ = 0;  // enqueued or currently processing
+
+  BlockingQueue<DbObjectJob> queue_;
+  std::thread thread_;
+  CheckpointPipelineStats stats_;
+};
+
+}  // namespace ginja

@@ -1,0 +1,294 @@
+#include "ginja/commit_pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace ginja {
+
+namespace {
+// Poll interval for time-based predicates (TB/TS); wall time, so it works
+// with any Clock scale.
+constexpr auto kPollInterval = std::chrono::milliseconds(1);
+}  // namespace
+
+CommitPipeline::CommitPipeline(ObjectStorePtr store,
+                               std::shared_ptr<CloudView> view,
+                               std::shared_ptr<Clock> clock,
+                               const GinjaConfig& config,
+                               std::shared_ptr<Envelope> envelope)
+    : store_(std::move(store)),
+      view_(std::move(view)),
+      clock_(std::move(clock)),
+      config_(config),
+      envelope_(std::move(envelope)) {
+  last_agg_time_us_ = clock_->NowMicros();
+}
+
+CommitPipeline::~CommitPipeline() { Kill(); }
+
+void CommitPipeline::Start() {
+  threads_.emplace_back([this] { AggregatorLoop(); });
+  for (int i = 0; i < config_.uploader_threads; ++i) {
+    threads_.emplace_back([this] { UploaderLoop(); });
+  }
+  threads_.emplace_back([this] { UnlockerLoop(); });
+}
+
+void CommitPipeline::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  Drain();
+  upload_queue_.Close();
+  ack_queue_.Close();
+  unblock_cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void CommitPipeline::Kill() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (killed_) return;
+    killed_ = true;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  unblock_cv_.notify_all();
+  upload_queue_.Close();
+  ack_queue_.Close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+bool CommitPipeline::ShouldBlockLocked(std::uint64_t now_us) const {
+  if (queue_.size() > config_.safety) return true;
+  if (!queue_.empty() &&
+      now_us - queue_.front().second >= config_.safety_timeout_us) {
+    return true;
+  }
+  return false;
+}
+
+void CommitPipeline::Submit(WalWrite write) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (killed_) return;
+  queue_.emplace_back(std::move(write), clock_->NowMicros());
+  stats_.writes_submitted.Add();
+  // Wake the Aggregator only when a full batch is ready; partial batches
+  // are picked up by its TB poll. Avoids a wakeup per commit.
+  if (queue_.size() - aggregated_ >= config_.batch) queue_cv_.notify_one();
+
+  bool blocked = false;
+  while (!killed_ && ShouldBlockLocked(clock_->NowMicros())) {
+    if (!blocked) {
+      blocked = true;
+      stats_.blocked_waits.Add();  // counted on entry: observable mid-stall
+    }
+    unblock_cv_.wait_for(lock, kPollInterval);
+  }
+}
+
+void CommitPipeline::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!killed_ && !queue_.empty()) {
+    unblock_cv_.wait_for(lock, kPollInterval);
+  }
+}
+
+std::size_t CommitPipeline::PendingWrites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void CommitPipeline::AggregatorLoop() {
+  while (true) {
+    struct Group {
+      std::string file;
+      std::vector<FileEntry> entries;
+      std::uint64_t max_lsn = 0;
+      std::uint64_t first_offset = 0;
+    };
+    std::map<std::string, Group> groups;
+    std::size_t batch_items = 0;
+    std::uint64_t batch_seq = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait_for(lock, kPollInterval, [&] {
+        return stopping_ || queue_.size() - aggregated_ >= config_.batch;
+      });
+      if (killed_) return;
+      const std::size_t unaggregated = queue_.size() - aggregated_;
+      if (unaggregated == 0) {
+        if (stopping_) return;
+        continue;
+      }
+      const std::uint64_t now = clock_->NowMicros();
+      const bool timeout =
+          now - last_agg_time_us_ >= config_.batch_timeout_us;
+      if (unaggregated < config_.batch && !timeout && !stopping_) continue;
+
+      const std::size_t take = std::min(config_.batch, unaggregated);
+
+      // Aggregate (Alg. 2 lines 12–13) while holding the lock: coalesce
+      // rewrites of the same page — last write wins — so only the surviving
+      // pages are copied out (a B=1000 batch usually collapses to a
+      // handful of pages).
+      std::map<std::pair<std::string_view, std::uint64_t>, const WalWrite*>
+          coalesced;
+      for (std::size_t i = 0; i < take; ++i) {
+        const WalWrite& w = queue_[aggregated_ + i].first;
+        coalesced[{w.file, w.offset}] = &w;
+      }
+      for (const auto& [key, w] : coalesced) {
+        Group& g = groups[w->file];
+        if (g.entries.empty()) {
+          g.file = w->file;
+          g.first_offset = w->offset;
+        }
+        g.entries.push_back({w->file, w->offset, w->data});
+        g.max_lsn = std::max(g.max_lsn, w->max_lsn);
+      }
+
+      batch_items = take;
+      aggregated_ += take;
+      batch_seq = next_batch_seq_++;
+      last_agg_time_us_ = now;
+    }
+
+    // Split oversized groups at the object-size limit, then order all
+    // resulting objects by the WAL-stream range they cover so timestamps
+    // stay monotone in LSN (the prefix-GC invariant).
+    struct PendingObject {
+      std::vector<FileEntry> entries;
+      std::string file;
+      std::uint64_t first_offset;
+      std::uint64_t max_lsn;
+    };
+    std::vector<PendingObject> objects;
+    for (auto& [file, group] : groups) {
+      std::vector<FileEntry> current;
+      std::size_t bytes = 0;
+      std::uint64_t first_offset = group.first_offset;
+      for (auto& entry : group.entries) {
+        if (!current.empty() &&
+            bytes + entry.data.size() > config_.max_object_bytes) {
+          objects.push_back({std::move(current), file, first_offset, group.max_lsn});
+          current.clear();
+          bytes = 0;
+          first_offset = entry.offset;
+        }
+        bytes += entry.data.size();
+        current.push_back(std::move(entry));
+      }
+      if (!current.empty()) {
+        objects.push_back({std::move(current), file, first_offset, group.max_lsn});
+      }
+    }
+    std::stable_sort(objects.begin(), objects.end(),
+                     [](const PendingObject& a, const PendingObject& b) {
+                       return a.max_lsn < b.max_lsn;
+                     });
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Batch batch;
+      batch.seq = batch_seq;
+      batch.item_count = batch_items;
+      batch.objects_total = objects.size();
+      for (const auto& obj : objects) {
+        batch.max_lsn = std::max(batch.max_lsn, obj.max_lsn);
+      }
+      batches_.push_back(batch);
+    }
+
+    for (auto& obj : objects) {
+      WalObjectId id;
+      id.ts = view_->NextWalTs();
+      id.filename = obj.file;
+      id.offset = obj.first_offset;
+      id.max_lsn = obj.max_lsn;
+
+      UploadJob job;
+      job.batch_seq = batch_seq;
+      job.name = id.Encode();
+      job.payload = EncodeEntries(obj.entries);
+      job.nonce = id.ts;
+      stats_.object_logical_bytes.Record(static_cast<double>(job.payload.size()));
+      upload_queue_.Put(std::move(job));
+    }
+  }
+}
+
+void CommitPipeline::UploaderLoop() {
+  while (auto job = upload_queue_.Take()) {
+    const Bytes enveloped = envelope_->Encode(View(job->payload), job->nonce);
+    int attempts = 0;
+    bool uploaded = false;
+    while (attempts < config_.max_retries) {
+      Status st = store_->Put(job->name, View(enveloped));
+      if (st.ok()) {
+        uploaded = true;
+        break;
+      }
+      stats_.upload_retries.Add();
+      ++attempts;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (killed_) break;
+      }
+      clock_->SleepMicros(config_.retry_backoff_us);
+    }
+    if (uploaded) {
+      stats_.objects_uploaded.Add();
+      stats_.bytes_uploaded.Add(enveloped.size());
+      if (auto id = WalObjectId::Decode(job->name)) view_->AddWal(*id);
+    }
+    // Acknowledge even on permanent failure so Stop() can complete — but a
+    // failed ack freezes the recoverable frontier (UnlockerLoop), so no
+    // checkpoint can ever claim WAL coverage across the gap.
+    ack_queue_.ForcePut({job->batch_seq, uploaded});
+  }
+}
+
+void CommitPipeline::UnlockerLoop() {
+  while (auto ack = ack_queue_.Take()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!ack->uploaded) frontier_broken_.store(true);
+    for (auto& batch : batches_) {
+      if (batch.seq == ack->batch_seq) {
+        ++batch.objects_acked;
+        break;
+      }
+    }
+    // Remove completed batches from the head only — this is the
+    // consecutive-timestamp rule that bounds loss to S despite parallel
+    // out-of-order uploads (Alg. 2 lines 19–22).
+    while (!batches_.empty() &&
+           batches_.front().objects_acked >= batches_.front().objects_total) {
+      const std::size_t n = batches_.front().item_count;
+      assert(queue_.size() >= n && aggregated_ >= n);
+      for (std::size_t i = 0; i < n; ++i) queue_.pop_front();
+      aggregated_ -= n;
+      // The recoverable WAL frontier advances only with the consecutive
+      // prefix of *successfully* acknowledged batches.
+      if (!frontier_broken_.load() &&
+          batches_.front().max_lsn > frontier_lsn_.load()) {
+        frontier_lsn_.store(batches_.front().max_lsn, std::memory_order_release);
+      }
+      batches_.pop_front();
+      stats_.batches_uploaded.Add();
+    }
+    unblock_cv_.notify_all();
+  }
+}
+
+}  // namespace ginja

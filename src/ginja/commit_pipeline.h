@@ -1,0 +1,140 @@
+// The commit pipeline — paper Algorithm 2 / Figure 3.
+//
+// Intercepted WAL writes enter the CommitQueue; the Aggregator coalesces
+// batches of up to B writes into WAL objects (page rewrites to the same
+// offset collapse — the key cost optimisation); Uploader threads PUT the
+// objects in parallel; the Unlocker removes batches from the queue head
+// *in timestamp order* as their uploads are acknowledged, which is what
+// bounds data loss to S even with out-of-order parallel uploads.
+//
+// A write blocks (stalling the DBMS inside its intercepted syscall) while
+// more than S writes are unconfirmed, or while the oldest unconfirmed
+// write has been pending longer than TS.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cloud/object_store.h"
+#include "common/blocking_queue.h"
+#include "common/clock.h"
+#include "common/codec/envelope.h"
+#include "common/stats.h"
+#include "db/layout.h"
+#include "ginja/cloud_view.h"
+#include "ginja/config.h"
+#include "ginja/payload.h"
+
+namespace ginja {
+
+// One intercepted WAL write, annotated by the processor with the WAL-stream
+// range it covers (used for fuzzy-checkpoint-safe garbage collection).
+struct WalWrite {
+  std::string file;
+  std::uint64_t offset = 0;
+  Bytes data;
+  std::uint64_t max_lsn = 0;  // exclusive end of the covered stream range
+};
+
+struct CommitPipelineStats {
+  Counter writes_submitted;
+  Counter batches_uploaded;
+  Counter objects_uploaded;
+  Counter bytes_uploaded;          // enveloped bytes
+  Counter blocked_waits;           // times a Submit had to block
+  Counter upload_retries;
+  Meter object_logical_bytes;      // pre-envelope object sizes
+};
+
+class CommitPipeline {
+ public:
+  CommitPipeline(ObjectStorePtr store, std::shared_ptr<CloudView> view,
+                 std::shared_ptr<Clock> clock, const GinjaConfig& config,
+                 std::shared_ptr<Envelope> envelope);
+  ~CommitPipeline();
+
+  CommitPipeline(const CommitPipeline&) = delete;
+  CommitPipeline& operator=(const CommitPipeline&) = delete;
+
+  void Start();
+  // Blocks until every pending write is uploaded, then joins the threads.
+  void Stop();
+  // Abandons pending writes (simulates a primary-site crash).
+  void Kill();
+
+  // Called from the DBMS thread (via the processor). Implements Alg. 2
+  // lines 4–7: enqueue, then block while S/TS would be violated.
+  void Submit(WalWrite write);
+
+  // Blocks until the queue is empty (all writes confirmed).
+  void Drain();
+
+  std::size_t PendingWrites() const;
+
+  // Exclusive end of the WAL-stream range that is durably recoverable from
+  // the cloud: advanced by the Unlocker as *consecutive* batches are
+  // acknowledged. The checkpoint pipeline withholds DB objects until this
+  // frontier covers their page contents (see DESIGN.md, "prefix window").
+  Lsn UploadedWalFrontier() const {
+    return frontier_lsn_.load(std::memory_order_acquire);
+  }
+  const CommitPipelineStats& stats() const { return stats_; }
+
+ private:
+  struct Batch {
+    std::uint64_t seq = 0;
+    std::size_t item_count = 0;       // queue entries covered
+    std::size_t objects_total = 0;
+    std::size_t objects_acked = 0;
+    Lsn max_lsn = 0;                  // frontier value once fully acked
+  };
+  struct UploadJob {
+    std::uint64_t batch_seq = 0;
+    std::string name;
+    Bytes payload;       // pre-envelope
+    std::uint64_t nonce = 0;
+  };
+
+  void AggregatorLoop();
+  void UploaderLoop();
+  void UnlockerLoop();
+  bool ShouldBlockLocked(std::uint64_t now_us) const;
+
+  ObjectStorePtr store_;
+  std::shared_ptr<CloudView> view_;
+  std::shared_ptr<Clock> clock_;
+  GinjaConfig config_;
+  std::shared_ptr<Envelope> envelope_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;    // woken on enqueue (aggregator waits)
+  std::condition_variable unblock_cv_;  // woken on batch completion (Submit waits)
+  std::deque<std::pair<WalWrite, std::uint64_t>> queue_;  // write, enqueue time
+  std::size_t aggregated_ = 0;         // queue prefix already aggregated
+  std::uint64_t last_agg_time_us_ = 0;
+  std::uint64_t next_batch_seq_ = 0;
+  std::deque<Batch> batches_;          // in seq order
+  bool stopping_ = false;
+  bool killed_ = false;
+
+  BlockingQueue<UploadJob> upload_queue_;
+  struct Ack {
+    std::uint64_t batch_seq = 0;
+    bool uploaded = false;
+  };
+  BlockingQueue<Ack> ack_queue_;
+
+  std::vector<std::thread> threads_;
+  std::atomic<Lsn> frontier_lsn_{0};
+  // Set once an upload permanently fails (only possible at shutdown/kill):
+  // the frontier must never advance past the resulting gap.
+  std::atomic<bool> frontier_broken_{false};
+  CommitPipelineStats stats_;
+};
+
+}  // namespace ginja

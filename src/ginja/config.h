@@ -1,0 +1,55 @@
+// Ginja configuration — the paper's control knobs (§5.1, §5.4, §6).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/codec/envelope.h"
+
+namespace ginja {
+
+struct GinjaConfig {
+  // -- Batch / Safety model (§5.1) -------------------------------------------
+  // B: maximum database updates (intercepted WAL writes) per cloud
+  // synchronization. TB: a batch is also sent when this much model time has
+  // passed since the last synchronization and updates are pending.
+  std::size_t batch = 100;
+  std::uint64_t batch_timeout_us = 1'000'000;
+
+  // S: maximum updates that may be unconfirmed by the cloud before the
+  // DBMS is blocked — the maximum data loss in a disaster. TS: writes also
+  // block when the oldest unconfirmed update is older than this.
+  std::size_t safety = 1000;
+  std::uint64_t safety_timeout_us = 10'000'000;
+
+  // -- pipeline ----------------------------------------------------------------
+  // Parallel Uploader threads; the paper's evaluation fixes 5 (§8).
+  int uploader_threads = 5;
+  // Objects are split at this size to optimise upload latency (§5.2 fn. 3).
+  std::size_t max_object_bytes = 20 * 1024 * 1024;
+  // Retry backoff (model time) for failed cloud operations.
+  std::uint64_t retry_backoff_us = 200'000;
+  int max_retries = 100;
+
+  // -- checkpoints ---------------------------------------------------------------
+  // A dump replaces incremental checkpoints when cloud DB objects reach
+  // this multiple of the local database size (§5.3: 150%).
+  double dump_threshold = 1.5;
+
+  // -- object encoding (§5.4) -----------------------------------------------------
+  EnvelopeOptions envelope;
+
+  // -- point-in-time recovery (§5.4) ----------------------------------------------
+  // When true, garbage collection keeps superseded objects so the database
+  // can be restored to any earlier checkpoint/WAL timestamp.
+  bool keep_history = false;
+
+  static GinjaConfig NoLoss() {  // paper's S = B = 1 synchronous mode
+    GinjaConfig c;
+    c.batch = 1;
+    c.safety = 1;
+    return c;
+  }
+};
+
+}  // namespace ginja

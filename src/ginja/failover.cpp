@@ -1,0 +1,139 @@
+#include "ginja/failover.h"
+
+namespace ginja {
+
+namespace {
+
+// Meta objects use a nonce space disjoint from WAL ts and DB seq nonces.
+constexpr std::uint64_t kMetaNonceBase = 0xF0F0'0000'0000'0000ull;
+
+Bytes EncodeU64Pair(std::uint64_t a, std::uint64_t b) {
+  Bytes out;
+  PutU64(out, a);
+  PutU64(out, b);
+  return out;
+}
+
+}  // namespace
+
+Result<std::uint64_t> ReadEpoch(ObjectStore& store, const Envelope& envelope) {
+  auto blob = store.Get(kEpochObject);
+  if (!blob.ok()) {
+    if (blob.status().code() == ErrorCode::kNotFound) return std::uint64_t{0};
+    return blob.status();
+  }
+  auto payload = envelope.Decode(View(*blob));
+  if (!payload.ok()) return payload.status();
+  if (payload->size() < 8) return Status::Corruption("epoch object truncated");
+  return GetU64(payload->data());
+}
+
+Result<std::uint64_t> Promote(ObjectStore& store, const Envelope& envelope) {
+  auto current = ReadEpoch(store, envelope);
+  if (!current.ok()) return current.status();
+  const std::uint64_t next = *current + 1;
+  Bytes payload;
+  PutU64(payload, next);
+  const Bytes enveloped =
+      envelope.Encode(View(payload), kMetaNonceBase ^ next);
+  GINJA_RETURN_IF_ERROR(store.Put(kEpochObject, View(enveloped)));
+  return next;
+}
+
+HeartbeatWriter::HeartbeatWriter(ObjectStorePtr store,
+                                 std::shared_ptr<Clock> clock,
+                                 const GinjaConfig& ginja_config,
+                                 FailoverConfig config, std::uint64_t epoch,
+                                 std::function<void()> on_fenced)
+    : store_(std::move(store)),
+      clock_(std::move(clock)),
+      config_(config),
+      envelope_(ginja_config.envelope),
+      epoch_(epoch),
+      on_fenced_(std::move(on_fenced)) {}
+
+HeartbeatWriter::~HeartbeatWriter() { Stop(); }
+
+void HeartbeatWriter::Start() {
+  stop_.store(false);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void HeartbeatWriter::Stop() {
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+}
+
+bool HeartbeatWriter::BeatOnce() {
+  // Fencing check first: a higher epoch means another site took over.
+  auto cloud_epoch = ReadEpoch(*store_, envelope_);
+  if (cloud_epoch.ok() && *cloud_epoch > epoch_) {
+    fenced_.store(true);
+    if (on_fenced_) on_fenced_();
+    return false;
+  }
+  const Bytes payload = EncodeU64Pair(epoch_, ++sequence_);
+  const Bytes enveloped =
+      envelope_.Encode(View(payload), kMetaNonceBase | sequence_);
+  if (store_->Put(kHeartbeatObject, View(enveloped)).ok()) {
+    beats_.Add();
+  }
+  return true;
+}
+
+void HeartbeatWriter::Loop() {
+  while (!stop_.load()) {
+    if (!BeatOnce()) return;  // fenced: stop beating forever
+    // Sleep in small slices so Stop() is responsive under scaled clocks.
+    std::uint64_t remaining = config_.heartbeat_interval_us;
+    while (remaining > 0 && !stop_.load()) {
+      const std::uint64_t slice = std::min<std::uint64_t>(remaining, 20'000);
+      clock_->SleepMicros(slice);
+      remaining -= slice;
+    }
+  }
+}
+
+FailureDetector::FailureDetector(ObjectStorePtr store,
+                                 std::shared_ptr<Clock> clock,
+                                 const GinjaConfig& ginja_config,
+                                 FailoverConfig config)
+    : store_(std::move(store)),
+      clock_(std::move(clock)),
+      config_(config),
+      envelope_(ginja_config.envelope) {}
+
+std::optional<FailureDetector::Beat> FailureDetector::ReadBeat() {
+  auto blob = store_->Get(kHeartbeatObject);
+  if (!blob.ok()) return std::nullopt;
+  auto payload = envelope_.Decode(View(*blob));
+  if (!payload.ok() || payload->size() < 16) return std::nullopt;
+  Beat beat;
+  beat.epoch = GetU64(payload->data());
+  beat.sequence = GetU64(payload->data() + 8);
+  return beat;
+}
+
+bool FailureDetector::WaitForPrimaryFailure(std::uint64_t give_up_after_us) {
+  const std::uint64_t start = clock_->NowMicros();
+  std::optional<Beat> last_beat = ReadBeat();
+  std::uint64_t last_change = start;
+
+  while (clock_->NowMicros() - start < give_up_after_us) {
+    clock_->SleepMicros(config_.poll_interval_us);
+    const auto beat = ReadBeat();
+    const std::uint64_t now = clock_->NowMicros();
+    const bool advanced =
+        beat && (!last_beat || beat->sequence != last_beat->sequence ||
+                 beat->epoch != last_beat->epoch);
+    if (advanced) {
+      last_beat = beat;
+      last_change = now;
+      continue;
+    }
+    if (now - last_change >= config_.failure_timeout_us) return true;
+  }
+  return false;
+}
+
+}  // namespace ginja

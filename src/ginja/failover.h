@@ -1,0 +1,111 @@
+// Failure detection and failover coordination — the piece the paper leaves
+// out of scope (§5: "our system does not consider the detection of a
+// failure on the primary infrastructure and the switching to a backup")
+// and points at SecondSite [40] for. Implemented here as an extension,
+// using only the object store itself as the coordination medium (no extra
+// service, keeping the paper's zero-VM economics):
+//
+//   * the primary's HeartbeatWriter PUTs a monotonically increasing beat
+//     (epoch, sequence) to `meta/heartbeat` every interval;
+//   * a FailureDetector anywhere in the world polls it and declares the
+//     primary dead once the beat stalls for the failure timeout;
+//   * Promote() fences the old primary by bumping `meta/epoch` *before*
+//     recovery begins; a zombie primary notices the higher epoch on its
+//     next beat, stops replicating, and reports itself fenced — the
+//     split-brain guard.
+//
+// Heartbeat and epoch objects go through the same MAC'd envelope as data
+// objects, so a tampered beat is indistinguishable from a missing one.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "cloud/object_store.h"
+#include "common/clock.h"
+#include "common/codec/envelope.h"
+#include "common/stats.h"
+#include "ginja/config.h"
+
+namespace ginja {
+
+struct FailoverConfig {
+  std::uint64_t heartbeat_interval_us = 1'000'000;
+  // Detector declares failure after this much silence (model time).
+  std::uint64_t failure_timeout_us = 5'000'000;
+  std::uint64_t poll_interval_us = 500'000;
+};
+
+inline constexpr const char* kHeartbeatObject = "meta/heartbeat";
+inline constexpr const char* kEpochObject = "meta/epoch";
+
+// Reads the fencing epoch (0 when the object does not exist yet).
+Result<std::uint64_t> ReadEpoch(ObjectStore& store, const Envelope& envelope);
+
+// Fences every primary of an older epoch and returns the new epoch the
+// caller now owns. The first step of any takeover, *before* recovery.
+Result<std::uint64_t> Promote(ObjectStore& store, const Envelope& envelope);
+
+class HeartbeatWriter {
+ public:
+  // `epoch` is the epoch this primary believes it owns (from Promote, or 0
+  // for the initial primary). `on_fenced` fires (once, from the heartbeat
+  // thread) when a higher epoch appears — the callee must stop accepting
+  // writes (e.g. Ginja::Stop + refuse commits).
+  HeartbeatWriter(ObjectStorePtr store, std::shared_ptr<Clock> clock,
+                  const GinjaConfig& ginja_config, FailoverConfig config,
+                  std::uint64_t epoch, std::function<void()> on_fenced = nullptr);
+  ~HeartbeatWriter();
+
+  void Start();
+  void Stop();
+
+  bool fenced() const { return fenced_.load(); }
+  std::uint64_t beats_sent() const { return beats_.Get(); }
+  std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  void Loop();
+  bool BeatOnce();
+
+  ObjectStorePtr store_;
+  std::shared_ptr<Clock> clock_;
+  FailoverConfig config_;
+  Envelope envelope_;
+  std::uint64_t epoch_;
+  std::function<void()> on_fenced_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> fenced_{false};
+  std::uint64_t sequence_ = 0;
+  Counter beats_;
+};
+
+class FailureDetector {
+ public:
+  FailureDetector(ObjectStorePtr store, std::shared_ptr<Clock> clock,
+                  const GinjaConfig& ginja_config, FailoverConfig config);
+
+  // Polls until the heartbeat stalls for failure_timeout (returns true:
+  // the primary is considered dead) or `give_up_after_us` elapses
+  // (returns false). A missing heartbeat object counts as silence.
+  bool WaitForPrimaryFailure(std::uint64_t give_up_after_us);
+
+  // One poll: returns the latest observed (epoch, sequence), if readable.
+  struct Beat {
+    std::uint64_t epoch = 0;
+    std::uint64_t sequence = 0;
+  };
+  std::optional<Beat> ReadBeat();
+
+ private:
+  ObjectStorePtr store_;
+  std::shared_ptr<Clock> clock_;
+  FailoverConfig config_;
+  Envelope envelope_;
+};
+
+}  // namespace ginja

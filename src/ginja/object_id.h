@@ -1,0 +1,65 @@
+// Cloud object naming — the paper's data model (§5.2) plus two additions.
+//
+// Paper format:
+//   WAL/<ts>_<filename>_<offset>   (ts totally orders WAL objects)
+//   DB/<ts>_<type>_<size>          (type ∈ {dump, checkpoint})
+//
+// This implementation extends the names with recovery-safety metadata that
+// the paper keeps implicit (documented in DESIGN.md):
+//   * WAL objects carry `maxlsn`, the exclusive end of the WAL-stream range
+//     they cover. Garbage collection deletes a WAL object only when the
+//     uploaded checkpoint's redo LSN has passed `maxlsn` — required for
+//     soundness with InnoDB-style *fuzzy* checkpoints, where the redo point
+//     can lag the checkpoint-begin timestamp. Because maxlsn is monotone in
+//     ts, this still always deletes a prefix (no gaps are created).
+//   * DB objects carry a sequence number (breaking ts ties between
+//     checkpoints with no intervening commits) and a part index, since
+//     objects are split at the 20 MB limit (§5.2 footnote 3).
+//
+//   WAL/<ts>_<escaped-filename>_<offset>_<maxlsn>
+//   DB/<ts>_<type>_<size>_s<seq>_l<redolsn>_p<part>of<total>
+//
+// DB objects also carry their checkpoint's redo LSN (`redolsn`), which
+// lets the point-in-time retention policy (§5.4) compute exactly which
+// WAL objects each kept snapshot still needs — even after a reboot, when
+// only the names survive.
+//
+// '/' in file names is escaped as '|' so names stay flat object keys.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ginja {
+
+struct WalObjectId {
+  std::uint64_t ts = 0;
+  std::string filename;       // local WAL segment path (unescaped)
+  std::uint64_t offset = 0;   // position of the content in the segment
+  std::uint64_t max_lsn = 0;  // exclusive end of covered WAL-stream range
+
+  std::string Encode() const;
+  static std::optional<WalObjectId> Decode(std::string_view name);
+};
+
+enum class DbObjectType { kDump, kCheckpoint };
+
+struct DbObjectId {
+  std::uint64_t ts = 0;  // last WAL-object ts before the checkpoint began
+  DbObjectType type = DbObjectType::kCheckpoint;
+  std::uint64_t size = 0;     // logical payload bytes (pre-envelope)
+  std::uint64_t seq = 0;      // global checkpoint sequence number
+  std::uint64_t redo_lsn = 0; // the checkpoint's redo point (WAL-stream pos)
+  std::uint32_t part = 0;     // 0-based part index
+  std::uint32_t total_parts = 1;
+
+  std::string Encode() const;
+  static std::optional<DbObjectId> Decode(std::string_view name);
+};
+
+std::string EscapePath(std::string_view path);
+std::string UnescapePath(std::string_view escaped);
+
+}  // namespace ginja

@@ -1,0 +1,50 @@
+#include "ginja/payload.h"
+
+namespace ginja {
+
+Bytes EncodeEntries(const std::vector<FileEntry>& entries) {
+  Bytes out;
+  PutVarint(out, entries.size());
+  for (const auto& e : entries) {
+    PutVarint(out, e.path.size());
+    Append(out, View(ToBytes(e.path)));
+    PutVarint(out, e.offset);
+    PutVarint(out, e.data.size());
+    Append(out, View(e.data));
+  }
+  return out;
+}
+
+Result<std::vector<FileEntry>> DecodeEntries(ByteView payload) {
+  std::size_t pos = 0;
+  const auto count = GetVarint(payload, pos);
+  if (!count) return Status::Corruption("entry count truncated");
+  std::vector<FileEntry> out;
+  out.reserve(*count);
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    FileEntry e;
+    const auto path_len = GetVarint(payload, pos);
+    if (!path_len || pos + *path_len > payload.size()) {
+      return Status::Corruption("entry path truncated");
+    }
+    e.path.assign(reinterpret_cast<const char*>(payload.data() + pos), *path_len);
+    pos += *path_len;
+    const auto offset = GetVarint(payload, pos);
+    if (!offset && !(pos <= payload.size())) {
+      return Status::Corruption("entry offset truncated");
+    }
+    if (!offset) return Status::Corruption("entry offset truncated");
+    e.offset = *offset;
+    const auto data_len = GetVarint(payload, pos);
+    if (!data_len || pos + *data_len > payload.size()) {
+      return Status::Corruption("entry data truncated");
+    }
+    e.data.assign(payload.begin() + static_cast<long>(pos),
+                  payload.begin() + static_cast<long>(pos + *data_len));
+    pos += *data_len;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace ginja

@@ -1,0 +1,25 @@
+// Payload format shared by WAL and DB objects: a list of file-write
+// entries (path, offset, content). A WAL object holds the aggregated
+// segment writes of one batch; a DB object holds the file writes of one
+// checkpoint, or entire files for a dump. Recovery applies entries in
+// order with plain positional writes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace ginja {
+
+struct FileEntry {
+  std::string path;
+  std::uint64_t offset = 0;
+  Bytes data;
+};
+
+Bytes EncodeEntries(const std::vector<FileEntry>& entries);
+Result<std::vector<FileEntry>> DecodeEntries(ByteView payload);
+
+}  // namespace ginja

@@ -1,0 +1,101 @@
+#include "ginja/pitr.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ginja {
+
+void RetentionPolicy::Protect(std::uint64_t ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  protected_ts_.insert(ts);
+}
+
+void RetentionPolicy::Release(std::uint64_t ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  protected_ts_.erase(ts);
+}
+
+std::vector<std::uint64_t> RetentionPolicy::ProtectedTs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::uint64_t>(protected_ts_.begin(), protected_ts_.end());
+}
+
+bool RetentionPolicy::Empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return protected_ts_.empty();
+}
+
+std::set<std::string> RetentionPolicy::KeepSet(
+    const std::vector<WalObjectId>& wal_objects,
+    const std::vector<DbObjectId>& db_objects) const {
+  std::vector<std::uint64_t> points;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    points.assign(protected_ts_.begin(), protected_ts_.end());
+  }
+  std::set<std::string> keep;
+  if (points.empty()) return keep;
+
+  // Group DB objects by checkpoint sequence for whole-object decisions.
+  std::map<std::uint64_t, std::vector<DbObjectId>> by_seq;
+  for (const auto& db : db_objects) by_seq[db.seq].push_back(db);
+
+  for (const std::uint64_t point : points) {
+    // (1) The most recent dump with ts <= point.
+    const std::vector<DbObjectId>* dump = nullptr;
+    for (const auto& [seq, parts] : by_seq) {
+      if (parts.empty() || parts[0].ts > point) continue;
+      if (parts[0].type == DbObjectType::kDump) dump = &parts;
+    }
+    std::uint64_t dump_seq = 0;
+    std::uint64_t last_redo_lsn = 0;
+    if (dump != nullptr) {
+      dump_seq = (*dump)[0].seq;
+      last_redo_lsn = (*dump)[0].redo_lsn;
+      for (const auto& part : *dump) keep.insert(part.Encode());
+    }
+
+    // (2) Incremental checkpoints between the dump and the point.
+    for (const auto& [seq, parts] : by_seq) {
+      if (parts.empty() || parts[0].ts > point) continue;
+      if (dump != nullptr && seq <= dump_seq) continue;
+      if (parts[0].type != DbObjectType::kCheckpoint) continue;
+      last_redo_lsn = std::max(last_redo_lsn, parts[0].redo_lsn);
+      for (const auto& part : parts) keep.insert(part.Encode());
+    }
+
+    // (3) WAL objects up to the point that redo from the last kept
+    // checkpoint still needs (their stream range reaches past its redo
+    // LSN). Everything earlier is already reflected in the kept pages.
+    for (const auto& wal : wal_objects) {
+      if (wal.ts > point) continue;
+      if (wal.max_lsn <= last_redo_lsn) continue;
+      keep.insert(wal.Encode());
+    }
+  }
+  return keep;
+}
+
+std::vector<RestorePoint> ListRestorePoints(const CloudView& view,
+                                            const RetentionPolicy* policy) {
+  std::set<std::uint64_t> snapshots;
+  if (policy != nullptr) {
+    for (const auto ts : policy->ProtectedTs()) snapshots.insert(ts);
+  }
+  std::vector<RestorePoint> out;
+  for (const auto& wal : view.WalObjects()) {
+    out.push_back({wal.ts, snapshots.count(wal.ts) > 0});
+  }
+  // Snapshots whose WAL objects were already pruned by a later checkpoint
+  // are still restorable via their kept DB objects.
+  for (const auto ts : snapshots) {
+    const bool listed = std::any_of(out.begin(), out.end(),
+                                    [&](const RestorePoint& p) { return p.ts == ts; });
+    if (!listed) out.push_back({ts, true});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RestorePoint& a, const RestorePoint& b) { return a.ts < b.ts; });
+  return out;
+}
+
+}  // namespace ginja

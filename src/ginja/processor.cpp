@@ -1,0 +1,140 @@
+#include "ginja/processor.h"
+
+#include <charconv>
+
+namespace ginja {
+
+namespace {
+
+// Parses the segment index back out of a PostgreSQL segment name
+// ("pg_xlog/<timeline:8hex><hi:8hex><lo:8hex>", lo is 1-based).
+std::optional<std::uint64_t> PostgresSegmentIndex(std::string_view path) {
+  constexpr std::string_view kPrefix = "pg_xlog/";
+  if (!path.starts_with(kPrefix) || path.size() != kPrefix.size() + 24) {
+    return std::nullopt;
+  }
+  auto hex = [&](std::size_t pos) -> std::optional<std::uint64_t> {
+    std::uint64_t v = 0;
+    const char* begin = path.data() + kPrefix.size() + pos;
+    auto [p, ec] = std::from_chars(begin, begin + 8, v, 16);
+    if (ec != std::errc() || p != begin + 8) return std::nullopt;
+    return v;
+  };
+  const auto hi = hex(8);
+  const auto lo = hex(16);
+  if (!hi || !lo || *lo == 0) return std::nullopt;
+  return *hi * 256 + (*lo - 1);
+}
+
+}  // namespace
+
+DbIoProcessor::DbIoProcessor(DbLayout layout, CommitPipeline* commits,
+                             CheckpointPipeline* checkpoints)
+    : layout_(layout), commits_(commits), checkpoints_(checkpoints) {}
+
+std::uint64_t DbIoProcessor::LogicalWalPage(const std::string& path,
+                                            std::uint64_t offset) {
+  if (!layout_.circular_wal) {
+    const auto segment = PostgresSegmentIndex(path).value_or(0);
+    return segment * layout_.PagesPerSegment() + offset / layout_.wal_page_size;
+  }
+  // Circular log: recover the slot index, then count wrap epochs — the log
+  // only ever moves forward, so a slot smaller than the last one seen means
+  // the writer wrapped.
+  std::uint64_t file_index = 0;
+  constexpr std::string_view kPrefix = "ib_logfile";
+  if (path.size() > kPrefix.size()) {
+    file_index = std::strtoull(path.c_str() + kPrefix.size(), nullptr, 10);
+  }
+  std::uint64_t slot;
+  if (file_index == 0) {
+    slot = offset / layout_.wal_page_size - layout_.wal_header_pages;
+  } else {
+    slot = (layout_.PagesPerSegment() - layout_.wal_header_pages) +
+           (file_index - 1) * layout_.PagesPerSegment() +
+           offset / layout_.wal_page_size;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (any_wal_write_ && slot < last_slot_) ++epoch_;
+  last_slot_ = slot;
+  any_wal_write_ = true;
+  return epoch_ * layout_.CircularSlots() + slot;
+}
+
+void DbIoProcessor::OnWalWrite(const FileEvent& event) {
+  const std::uint64_t page = LogicalWalPage(event.path, event.offset);
+  // The page header's used-count bounds the stream content this write
+  // carries; max_lsn is the exclusive end of that range.
+  std::uint64_t used = layout_.WalPayloadSize();
+  if (event.data.size() >= 6) {
+    used = GetU16(event.data.data() + 4);
+  }
+  WalWrite write;
+  write.file = event.path;
+  write.offset = event.offset;
+  write.data = event.data;
+  write.max_lsn = page * layout_.WalPayloadSize() + used;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_wal_frontier_ = std::max(last_wal_frontier_, write.max_lsn);
+  }
+  commits_->Submit(std::move(write));
+}
+
+void DbIoProcessor::OnDataWrite(const FileEvent& event) {
+  // Table 1: the first data-file write is the checkpoint-begin event
+  // (pg_clog for PostgreSQL, any ibdata/.ibd/.frm write for MySQL).
+  if (!checkpoints_->InCheckpoint()) checkpoints_->OnCheckpointBegin();
+  checkpoints_->AddWrite({event.path, event.offset, event.data});
+}
+
+void DbIoProcessor::OnControlWrite(const FileEvent& event) {
+  if (!checkpoints_->InCheckpoint()) checkpoints_->OnCheckpointBegin();
+  checkpoints_->AddWrite({event.path, event.offset, event.data});
+  // The control block carries the redo LSN; it drives LSN-safe WAL GC.
+  ControlBlock block;
+  Lsn redo_lsn = 0;
+  if (ControlBlock::Decode(event.data.data(), event.data.size(), &block)) {
+    redo_lsn = block.checkpoint_lsn;
+  }
+  Lsn wal_frontier;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    wal_frontier = last_wal_frontier_;
+  }
+  checkpoints_->OnCheckpointEnd(redo_lsn, wal_frontier);
+}
+
+void DbIoProcessor::OnFileEvent(const FileEvent& event) {
+  if (event.kind != FileEvent::Kind::kWrite) return;  // GC handles removals
+  switch (layout_.Classify(event.path, event.offset)) {
+    case FileKind::kWalSegment:
+      OnWalWrite(event);
+      break;
+    case FileKind::kClog:
+    case FileKind::kTableData:
+    case FileKind::kCatalog:
+      OnDataWrite(event);
+      break;
+    case FileKind::kControl:
+      OnControlWrite(event);
+      break;
+    case FileKind::kOther:
+      unclassified_.Add();
+      break;
+  }
+}
+
+std::unique_ptr<DbIoProcessor> MakePostgresProcessor(
+    CommitPipeline* commits, CheckpointPipeline* checkpoints) {
+  return std::make_unique<DbIoProcessor>(DbLayout::Postgres(), commits,
+                                         checkpoints);
+}
+
+std::unique_ptr<DbIoProcessor> MakeMySqlProcessor(
+    CommitPipeline* commits, CheckpointPipeline* checkpoints) {
+  return std::make_unique<DbIoProcessor>(DbLayout::MySql(), commits,
+                                         checkpoints);
+}
+
+}  // namespace ginja

@@ -1,0 +1,65 @@
+#include "ginja/verification_scheduler.h"
+
+namespace ginja {
+
+VerificationScheduler::VerificationScheduler(
+    ObjectStorePtr store, GinjaConfig config, DbLayout layout,
+    std::shared_ptr<Clock> clock, std::uint64_t interval_us,
+    std::function<bool(Database&)> service_checks,
+    std::function<void(const VerificationOutcome&)> on_result)
+    : store_(std::move(store)),
+      config_(std::move(config)),
+      layout_(layout),
+      clock_(std::move(clock)),
+      interval_us_(interval_us),
+      service_checks_(std::move(service_checks)),
+      on_result_(std::move(on_result)) {}
+
+VerificationScheduler::~VerificationScheduler() { Stop(); }
+
+void VerificationScheduler::Start() {
+  if (!stop_.exchange(false)) return;  // already running
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void VerificationScheduler::Stop() {
+  if (stop_.exchange(true)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+VerificationOutcome VerificationScheduler::RunOnce() {
+  const VerificationReport report =
+      VerifyBackup(store_, config_, layout_, service_checks_);
+  VerificationOutcome outcome;
+  outcome.at_micros = clock_->NowMicros();
+  outcome.ok = report.Ok();
+  outcome.detail = report.detail;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    history_.push_back(outcome);
+  }
+  runs_.Add();
+  if (!outcome.ok) failures_.Add();
+  if (on_result_) on_result_(outcome);
+  return outcome;
+}
+
+void VerificationScheduler::Loop() {
+  while (!stop_.load()) {
+    (void)RunOnce();
+    // Sleep in slices so Stop() stays responsive under any clock scale.
+    std::uint64_t remaining = interval_us_;
+    while (remaining > 0 && !stop_.load()) {
+      const std::uint64_t slice = std::min<std::uint64_t>(remaining, 20'000);
+      clock_->SleepMicros(slice);
+      remaining -= slice;
+    }
+  }
+}
+
+std::vector<VerificationOutcome> VerificationScheduler::History() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
+}  // namespace ginja

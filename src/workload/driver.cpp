@@ -1,0 +1,69 @@
+#include "workload/driver.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace ginja {
+
+TpccRunResult RunTpcc(TpccWorkload& workload, const TpccRunOptions& options) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total{0}, neworder{0}, aborted{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> terminals;
+  terminals.reserve(options.terminals);
+  for (int t = 0; t < options.terminals; ++t) {
+    terminals.emplace_back([&, t] {
+      SplitMix64 rng(options.seed + static_cast<std::uint64_t>(t) * 7919);
+      std::uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto type = workload.PickType(rng);
+        Status st = workload.Execute(type, rng);
+        if (st.ok()) {
+          total.fetch_add(1, std::memory_order_relaxed);
+          if (type == TpccWorkload::TxnType::kNewOrder) {
+            neworder.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else if (st.code() == ErrorCode::kAborted) {
+          aborted.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++local;
+        if (t == 0 && options.tick && options.tick_every_txns > 0 &&
+            local % options.tick_every_txns == 0) {
+          options.tick();
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(options.wall_seconds));
+  stop.store(true);
+  for (auto& t : terminals) t.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  TpccRunResult result;
+  result.total_txns = total.load();
+  result.neworder_txns = neworder.load();
+  result.aborted_txns = aborted.load();
+  result.wall_seconds = std::chrono::duration<double>(end - start).count();
+  return result;
+}
+
+Status RunSimpleUpdates(Database& db, const std::string& table,
+                        std::uint64_t count, std::size_t payload_bytes,
+                        std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    auto txn = db.Begin();
+    Bytes value(payload_bytes);
+    for (auto& b : value) b = static_cast<std::uint8_t>(rng.Next());
+    GINJA_RETURN_IF_ERROR(
+        db.Put(txn, table, "k" + std::to_string(rng.NextBelow(1000)),
+               std::move(value)));
+    GINJA_RETURN_IF_ERROR(db.Commit(txn));
+  }
+  return Status::Ok();
+}
+
+}  // namespace ginja

@@ -1,0 +1,47 @@
+// Benchmark driver: runs TPC-C terminals against the engine and reports the
+// paper's two metrics — Tpm-Total (all transactions per minute) and Tpm-C
+// (NewOrder transactions per minute while the rest of the mix runs).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "workload/tpcc.h"
+
+namespace ginja {
+
+struct TpccRunResult {
+  std::uint64_t total_txns = 0;
+  std::uint64_t neworder_txns = 0;
+  std::uint64_t aborted_txns = 0;
+  double wall_seconds = 0;
+
+  double TpmTotal() const {
+    return wall_seconds <= 0 ? 0 : static_cast<double>(total_txns) / wall_seconds * 60.0;
+  }
+  double TpmC() const {
+    return wall_seconds <= 0 ? 0 : static_cast<double>(neworder_txns) / wall_seconds * 60.0;
+  }
+};
+
+struct TpccRunOptions {
+  int terminals = 5;
+  double wall_seconds = 2.0;
+  std::uint64_t seed = 99;
+  // Invoked periodically by terminal 0 (e.g. to trigger checkpoints when
+  // the engine is configured for manual checkpointing). May be null.
+  std::function<void()> tick;
+  std::uint64_t tick_every_txns = 0;  // 0 = never
+};
+
+TpccRunResult RunTpcc(TpccWorkload& workload, const TpccRunOptions& options);
+
+// A simple update-only workload: `count` single-row update transactions of
+// `payload_bytes` each against one table — the "W updates/minute" shape of
+// the paper's cost analysis (§7.2).
+Status RunSimpleUpdates(Database& db, const std::string& table,
+                        std::uint64_t count, std::size_t payload_bytes,
+                        std::uint64_t seed = 7);
+
+}  // namespace ginja

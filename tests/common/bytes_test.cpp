@@ -1,0 +1,85 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace ginja {
+namespace {
+
+TEST(Bytes, FixedWidthRoundTrip) {
+  Bytes buf;
+  PutU16(buf, 0xBEEF);
+  PutU32(buf, 0xDEADBEEF);
+  PutU64(buf, 0x0123456789ABCDEFull);
+  ASSERT_EQ(buf.size(), 14u);
+  EXPECT_EQ(GetU16(buf.data()), 0xBEEF);
+  EXPECT_EQ(GetU32(buf.data() + 2), 0xDEADBEEFu);
+  EXPECT_EQ(GetU64(buf.data() + 6), 0x0123456789ABCDEFull);
+}
+
+TEST(Bytes, FixedWidthIsLittleEndian) {
+  Bytes buf;
+  PutU32(buf, 0x04030201);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[1], 2);
+  EXPECT_EQ(buf[2], 3);
+  EXPECT_EQ(buf[3], 4);
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, EncodesAndDecodes) {
+  Bytes buf;
+  PutVarint(buf, GetParam());
+  std::size_t pos = 0;
+  auto decoded = GetVarint(View(buf), pos);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, GetParam());
+  EXPECT_EQ(pos, buf.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, VarintRoundTrip,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
+                      0xFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull));
+
+TEST(Varint, TruncatedReturnsNullopt) {
+  Bytes buf;
+  PutVarint(buf, 0xFFFFFFFFull);
+  buf.pop_back();
+  std::size_t pos = 0;
+  EXPECT_FALSE(GetVarint(View(buf), pos).has_value());
+}
+
+TEST(Varint, SequentialDecoding) {
+  Bytes buf;
+  for (std::uint64_t v : {5ull, 1000ull, 0ull, 999999ull}) PutVarint(buf, v);
+  std::size_t pos = 0;
+  EXPECT_EQ(GetVarint(View(buf), pos), 5ull);
+  EXPECT_EQ(GetVarint(View(buf), pos), 1000ull);
+  EXPECT_EQ(GetVarint(View(buf), pos), 0ull);
+  EXPECT_EQ(GetVarint(View(buf), pos), 999999ull);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Hex, RoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xAB, 0xFF, 0x7F};
+  const std::string hex = ToHex(View(data));
+  EXPECT_EQ(hex, "0001abff7f");
+  auto back = FromHex(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(Hex, RejectsOddLengthAndBadChars) {
+  EXPECT_FALSE(FromHex("abc").has_value());
+  EXPECT_FALSE(FromHex("zz").has_value());
+  EXPECT_TRUE(FromHex("").has_value());
+}
+
+TEST(Bytes, StringConversion) {
+  const std::string s = "ginja";
+  EXPECT_EQ(ToString(View(ToBytes(s))), s);
+}
+
+}  // namespace
+}  // namespace ginja

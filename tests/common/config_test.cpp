@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+
+namespace ginja {
+namespace {
+
+constexpr const char* kSample = R"ini(
+# deployment configuration
+top_level = hello
+
+[Ginja]
+batch = 100
+safety = 1000
+compress = true
+encrypt = off
+password = s3 cr3t with spaces
+
+[cost]
+db_size_gb = 10.5
+updates_per_minute = 6
+)ini";
+
+TEST(ConfigFile, ParsesSectionsAndTypes) {
+  auto config = ConfigFile::Parse(kSample);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->GetString("top_level"), "hello");
+  EXPECT_EQ(config->GetInt("ginja.batch"), 100);
+  EXPECT_EQ(config->GetInt("ginja.safety"), 1000);
+  EXPECT_EQ(config->GetBool("ginja.compress"), true);
+  EXPECT_EQ(config->GetBool("ginja.encrypt"), false);
+  EXPECT_EQ(config->GetString("ginja.password"), "s3 cr3t with spaces");
+  EXPECT_EQ(config->GetDouble("cost.db_size_gb"), 10.5);
+}
+
+TEST(ConfigFile, KeysAreCaseInsensitive) {
+  auto config = ConfigFile::Parse("[A]\nKey = V\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->GetString("a.key"), "V");
+  EXPECT_EQ(config->GetString("A.KEY"), "V");
+}
+
+TEST(ConfigFile, MissingKeysAndFallbacks) {
+  auto config = ConfigFile::Parse(kSample);
+  ASSERT_TRUE(config.ok());
+  EXPECT_FALSE(config->GetString("nope").has_value());
+  EXPECT_FALSE(config->GetInt("ginja.password").has_value());  // not a number
+  EXPECT_EQ(config->GetIntOr("nope", 42), 42);
+  EXPECT_EQ(config->GetBoolOr("nope", true), true);
+  EXPECT_EQ(config->GetStringOr("nope", "d"), "d");
+  EXPECT_EQ(config->GetDoubleOr("nope", 1.5), 1.5);
+}
+
+TEST(ConfigFile, BoolSpellings) {
+  auto config = ConfigFile::Parse(
+      "a = true\nb = YES\nc = on\nd = 1\ne = False\nf = no\ng = OFF\nh = 0\n"
+      "bad = maybe\n");
+  ASSERT_TRUE(config.ok());
+  for (const char* key : {"a", "b", "c", "d"}) {
+    EXPECT_EQ(config->GetBool(key), true) << key;
+  }
+  for (const char* key : {"e", "f", "g", "h"}) {
+    EXPECT_EQ(config->GetBool(key), false) << key;
+  }
+  EXPECT_FALSE(config->GetBool("bad").has_value());
+}
+
+TEST(ConfigFile, CommentsAndBlankLines) {
+  auto config = ConfigFile::Parse("# c1\n\n; c2\nk = v\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->size(), 1u);
+}
+
+TEST(ConfigFile, ErrorsCarryLineNumbers) {
+  auto bad_section = ConfigFile::Parse("[unterminated\n");
+  ASSERT_FALSE(bad_section.ok());
+  EXPECT_NE(bad_section.status().message().find("line 1"), std::string::npos);
+
+  auto bad_pair = ConfigFile::Parse("k = v\njust words\n");
+  ASSERT_FALSE(bad_pair.ok());
+  EXPECT_NE(bad_pair.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ConfigFile, LoadMissingFileIsNotFound) {
+  auto config = ConfigFile::Load("/nonexistent/ginja.ini");
+  ASSERT_FALSE(config.ok());
+  EXPECT_EQ(config.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ConfigFile, LastValueWinsOnDuplicate) {
+  auto config = ConfigFile::Parse("k = 1\nk = 2\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->GetInt("k"), 2);
+}
+
+}  // namespace
+}  // namespace ginja

@@ -1,0 +1,166 @@
+// Validates the §7 cost model against the numbers printed in the paper.
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "cost/scenarios.h"
+
+namespace ginja {
+namespace {
+
+CostModelParams Fig4Params(double batch, double updates_per_minute) {
+  // Figure 4 setup: 10 GB database, 8 kB pages with 75 records, checkpoint
+  // every 60 min lasting 20 min, CR = 1.43.
+  CostModelParams p;
+  p.db_size_gb = 10.0;
+  p.wal_page_bytes = 8192.0;
+  p.records_per_page = 75.0;
+  p.checkpoint_period_min = 60.0;
+  p.checkpoint_duration_min = 20.0;
+  p.compression_rate = 1.43;
+  p.batch = batch;
+  p.updates_per_minute = updates_per_minute;
+  return p;
+}
+
+TEST(CostModel, DbStorageMatchesPaperFixedCost) {
+  // §7.2: "the size of our database (10GB) implies in a fixed CDB_Storage
+  // of $0.20" (with CR 1.43: 10 × 1.25 / 1.43 × 0.023 = 0.201).
+  const CostModel model(Fig4Params(100, 100));
+  EXPECT_NEAR(model.Monthly().db_storage, 0.20, 0.01);
+}
+
+TEST(CostModel, TenTimesBiggerDatabaseCostsTenTimesMore) {
+  // §7.2: "a 10× bigger database, this cost will be $2".
+  CostModelParams p = Fig4Params(100, 100);
+  p.db_size_gb = 100.0;
+  EXPECT_NEAR(CostModel(p).Monthly().db_storage, 2.0, 0.1);
+}
+
+TEST(CostModel, WalPutDominatesAtSmallBatch) {
+  // Fig. 4 shape: W=1000 up/min at B=10 → WAL PUTs alone:
+  // 1000 × 43200 / 10 × $5e-6 = $21.6/month.
+  const CostModel model(Fig4Params(10, 1000));
+  EXPECT_NEAR(model.Monthly().wal_put, 21.6, 0.1);
+  // B=1000 cuts it 100×.
+  EXPECT_NEAR(CostModel(Fig4Params(1000, 1000)).Monthly().wal_put, 0.216, 0.01);
+}
+
+TEST(CostModel, BatchReducesCostMonotonically) {
+  double previous = 1e9;
+  for (double batch : {10.0, 100.0, 1000.0}) {
+    const double total = CostModel(Fig4Params(batch, 500)).Monthly().Total();
+    EXPECT_LT(total, previous);
+    previous = total;
+  }
+}
+
+TEST(CostModel, CostGrowsWithWorkload) {
+  double previous = 0;
+  for (double w : {10.0, 100.0, 1000.0}) {
+    const double total = CostModel(Fig4Params(100, w)).Monthly().Total();
+    EXPECT_GT(total, previous);
+    previous = total;
+  }
+}
+
+TEST(CostModel, ManyConfigurationsUnderOneDollar) {
+  // §7.2: "there are plenty of possible configurations that cost less than
+  // $1 per month".
+  int under_a_dollar = 0;
+  for (double batch : {10.0, 100.0, 1000.0}) {
+    for (double w : {10.0, 30.0, 100.0}) {
+      if (CostModel(Fig4Params(batch, w)).Monthly().Total() < 1.0) {
+        ++under_a_dollar;
+      }
+    }
+  }
+  EXPECT_GE(under_a_dollar, 6);
+}
+
+TEST(CostModel, Table2LaboratoryScenario) {
+  // Paper Table 2: laboratory $0.42 (1 sync/min) and $1.50 (6 sync/min),
+  // versus a $93.4/month EC2 Pilot Light — 62× to 222× cheaper.
+  const Scenario one_sync = LaboratoryScenario(1);
+  const Scenario six_sync = LaboratoryScenario(6);
+  const double cost1 = CostModel(one_sync.params).Monthly().Total();
+  const double cost6 = CostModel(six_sync.params).Monthly().Total();
+  EXPECT_NEAR(cost1, 0.42, 0.25);
+  EXPECT_NEAR(cost6, 1.50, 0.45);
+  const double ratio1 = one_sync.vm_baseline.monthly_cost / cost1;
+  const double ratio6 = six_sync.vm_baseline.monthly_cost / cost6;
+  EXPECT_GT(ratio1, 100.0);  // paper: 222×
+  EXPECT_GT(ratio6, 40.0);   // paper: 62×
+}
+
+TEST(CostModel, Table2HospitalScenario) {
+  // Paper Table 2: hospital $20.3–$21.4 vs $291.5 (≈14× cheaper); the cost
+  // is dominated by storing the 1 TB database.
+  const Scenario s = HospitalScenario(1);
+  const auto breakdown = CostModel(s.params).Monthly();
+  EXPECT_NEAR(breakdown.Total(), 20.3, 3.0);
+  EXPECT_GT(breakdown.db_storage / breakdown.Total(), 0.8);
+  const double ratio = s.vm_baseline.monthly_cost / breakdown.Total();
+  EXPECT_NEAR(ratio, 14.0, 4.0);
+}
+
+TEST(CostModel, RecoveryCostApproximation) {
+  // §7.3: recovery ≈ 4 × (DB storage + WAL storage); hospital ≈ $112.5,
+  // laboratory ≈ $1.125; colocated EC2 recovery is free.
+  // The paper's $112.5 estimate ignores compression; our model prices the
+  // compressed objects actually stored, hence the wider tolerance.
+  const CostModel hospital(HospitalScenario(1).params);
+  EXPECT_NEAR(hospital.RecoveryCost(), 112.5, 35.0);
+  const CostModel lab(LaboratoryScenario(1).params);
+  EXPECT_NEAR(lab.RecoveryCost(), 1.125, 0.5);
+  EXPECT_EQ(lab.RecoveryCost(/*colocated_vm=*/true), 0.0);
+}
+
+// -- Figure 1: the $1/month capacity frontier -----------------------------------
+
+TEST(BudgetPlanner, Figure1SetupsAreAffordable) {
+  const auto prices = PriceBook::AmazonS3May2017();
+  // Setup A: 35 GB, one sync every 72 s = 50/h.
+  EXPECT_GE(MaxSyncsPerHourForBudget(35.0, 1.0, prices), 50.0 * 0.8);
+  // Setup B: 20 GB at 120 syncs/h (2/min).
+  EXPECT_GE(MaxSyncsPerHourForBudget(20.0, 1.0, prices), 120.0 * 0.8);
+  // Setup C: 4.3 GB at 240 syncs/h (4/min).
+  EXPECT_GE(MaxSyncsPerHourForBudget(4.3, 1.0, prices), 240.0 * 0.8);
+}
+
+TEST(BudgetPlanner, FrontierIsMonotone) {
+  const auto prices = PriceBook::AmazonS3May2017();
+  double previous = 1e18;
+  for (double gb : {1.0, 10.0, 20.0, 30.0, 40.0}) {
+    const double syncs = MaxSyncsPerHourForBudget(gb, 1.0, prices);
+    EXPECT_LE(syncs, previous);
+    previous = syncs;
+  }
+  // Storage alone above the budget: zero syncs affordable.
+  EXPECT_EQ(MaxSyncsPerHourForBudget(50.0, 1.0, prices), 0.0);
+}
+
+TEST(BudgetPlanner, InverseIsConsistent) {
+  const auto prices = PriceBook::AmazonS3May2017();
+  const double syncs = MaxSyncsPerHourForBudget(20.0, 1.0, prices);
+  const double size = MaxDbSizeForBudget(syncs, 1.0, prices);
+  EXPECT_NEAR(size, 20.0, 0.5);
+}
+
+TEST(PriceBook, S3May2017Values) {
+  const auto s3 = PriceBook::AmazonS3May2017();
+  EXPECT_DOUBLE_EQ(s3.storage_gb_month, 0.023);  // §3
+  EXPECT_DOUBLE_EQ(s3.per_put * 1000, 0.005);    // $0.005 per 1000 uploads
+  EXPECT_DOUBLE_EQ(s3.per_delete, 0.0);          // deletes are free
+  EXPECT_DOUBLE_EQ(s3.ingress_gb, 0.0);          // upload bandwidth is free
+  // §7.3: downloading 1 GB costs ~4× storing it for a month.
+  EXPECT_NEAR(s3.egress_gb / s3.storage_gb_month, 4.0, 0.2);
+}
+
+TEST(VmBaseline, Table2Baselines) {
+  EXPECT_DOUBLE_EQ(VmBaseline::M3MediumPilotLight().monthly_cost, 93.4);
+  EXPECT_DOUBLE_EQ(VmBaseline::M3LargePilotLight().monthly_cost, 291.5);
+  EXPECT_DOUBLE_EQ(VmBaseline::M3MediumBare().monthly_cost, 48.24);
+}
+
+}  // namespace
+}  // namespace ginja

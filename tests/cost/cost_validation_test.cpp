@@ -1,0 +1,149 @@
+// Validates the §7 cost *model* against the *measured* behaviour of the
+// actual pipeline: drive W updates through Ginja with a metered store and
+// compare PUT counts and storage against what the equations predict.
+#include <gtest/gtest.h>
+
+#include "cloud/memory_store.h"
+#include "cloud/metered_store.h"
+#include "cost/cost_model.h"
+#include "db/database.h"
+#include "fs/intercept_fs.h"
+#include "fs/mem_fs.h"
+#include "ginja/ginja.h"
+#include "workload/driver.h"
+
+namespace ginja {
+namespace {
+
+struct MeteredHarness {
+  std::shared_ptr<RealClock> clock = std::make_shared<RealClock>();
+  std::shared_ptr<MemFs> local = std::make_shared<MemFs>();
+  std::shared_ptr<InterceptFs> intercept;
+  std::shared_ptr<MeteredStore> store;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<Ginja> ginja;
+
+  explicit MeteredHarness(GinjaConfig config) {
+    intercept = std::make_shared<InterceptFs>(local, clock);
+    store = std::make_shared<MeteredStore>(std::make_shared<MemoryStore>(),
+                                           clock);
+    db = std::make_unique<Database>(intercept, DbLayout::Postgres());
+    EXPECT_TRUE(db->Create().ok());
+    EXPECT_TRUE(db->CreateTable("t").ok());
+    ginja = std::make_unique<Ginja>(local, store, clock, DbLayout::Postgres(),
+                                    config);
+    EXPECT_TRUE(ginja->Boot().ok());
+    intercept->SetListener(ginja.get());
+  }
+};
+
+TEST(CostValidation, WalPutCountMatchesWOverB) {
+  // C_WAL_PUT counts one PUT per B updates; run 600 single-write updates
+  // at B=20 and expect ~30 WAL PUTs (aggregation exactness depends on
+  // batching boundaries; allow 20% slack).
+  GinjaConfig config;
+  config.batch = 20;
+  config.safety = 10'000;
+  config.batch_timeout_us = 2'000'000;  // long enough that only B triggers mid-run
+  MeteredHarness h(config);
+
+  const UsageReport before = h.store->Usage();
+  ASSERT_TRUE(RunSimpleUpdates(*h.db, "t", 600, 64).ok());
+  h.ginja->Drain();
+  const UsageReport after = h.store->Usage();
+
+  const double wal_puts = static_cast<double>(after.puts - before.puts);
+  EXPECT_NEAR(wal_puts, 600.0 / 20.0, 600.0 / 20.0 * 0.2);
+  h.ginja->Stop();
+}
+
+TEST(CostValidation, SmallerBMeansProportionallyMorePuts) {
+  auto measure = [](std::size_t batch) {
+    GinjaConfig config;
+    config.batch = batch;
+    config.safety = 10'000;
+    config.batch_timeout_us = 2'000'000;
+    MeteredHarness h(config);
+    const UsageReport before = h.store->Usage();
+    EXPECT_TRUE(RunSimpleUpdates(*h.db, "t", 400, 64).ok());
+    h.ginja->Drain();
+    const std::uint64_t puts = h.store->Usage().puts - before.puts;
+    h.ginja->Stop();
+    return puts;
+  };
+  const auto puts_b5 = measure(5);
+  const auto puts_b50 = measure(50);
+  // The model says 10x fewer PUTs; accept 8-12x.
+  EXPECT_GT(puts_b5, puts_b50 * 8);
+  EXPECT_LT(puts_b5, puts_b50 * 12 + 2);
+}
+
+TEST(CostValidation, DumpThresholdBoundsCloudDbStorage) {
+  // C_DB_Storage assumes cloud DB objects never exceed 150% of the local
+  // database: check the invariant holds across many checkpoint cycles.
+  GinjaConfig config;
+  config.batch = 10;
+  config.safety = 1'000;
+  config.batch_timeout_us = 10'000;
+  MeteredHarness h(config);
+
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_TRUE(RunSimpleUpdates(*h.db, "t", 80, 200,
+                                 /*seed=*/static_cast<std::uint64_t>(round))
+                    .ok());
+    ASSERT_TRUE(h.db->Checkpoint().ok());
+    h.ginja->Drain();
+
+    // The dump decision runs *before* the new checkpoint is added, so the
+    // cloud holds at most 150% of the local size plus the checkpoint that
+    // was just uploaded (the paper's model: 125% on average).
+    std::uint64_t local_db = 0;
+    auto files = h.local->ListFiles("");
+    ASSERT_TRUE(files.ok());
+    for (const auto& path : *files) {
+      if (path.starts_with("pg_xlog/")) continue;
+      auto size = h.local->FileSize(path);
+      ASSERT_TRUE(size.ok());
+      local_db += *size;
+    }
+    const auto db_objects = h.ginja->cloud_view().DbObjects();
+    ASSERT_FALSE(db_objects.empty());
+    const std::uint64_t newest_seq = db_objects.back().seq;
+    std::uint64_t newest_bytes = 0;
+    for (const auto& obj : db_objects) {
+      if (obj.seq == newest_seq) newest_bytes += obj.size;
+    }
+    EXPECT_LE(h.ginja->cloud_view().TotalDbBytes(),
+              static_cast<std::uint64_t>(1.5 * static_cast<double>(local_db)) +
+                  newest_bytes + 4096)
+        << "round " << round;
+  }
+  // And the threshold must actually have triggered dumps along the way.
+  EXPECT_GT(h.ginja->checkpoint_stats().dumps_uploaded.Get(), 0u);
+  h.ginja->Stop();
+}
+
+TEST(CostValidation, MonthlyCostDominatedByWalPutsUnderHeavyUpdates) {
+  // §7.2: "The dominant factor in this [laboratory] scenario is the cost
+  // of uploading WAL objects". Check the measured bill decomposes the
+  // same way: request cost >> storage cost for a small DB.
+  GinjaConfig config;
+  config.batch = 5;
+  config.safety = 1'000;
+  config.batch_timeout_us = 2'000'000;
+  MeteredHarness h(config);
+  ASSERT_TRUE(RunSimpleUpdates(*h.db, "t", 500, 64).ok());
+  h.ginja->Drain();
+
+  const UsageReport usage = h.store->Usage();
+  const auto prices = PriceBook::AmazonS3May2017();
+  const double request_cost = static_cast<double>(usage.puts) * prices.per_put;
+  const double storage_cost =
+      static_cast<double>(usage.current_storage_bytes) / 1e9 *
+      prices.storage_gb_month;
+  EXPECT_GT(request_cost, 10 * storage_cost);
+  h.ginja->Stop();
+}
+
+}  // namespace
+}  // namespace ginja

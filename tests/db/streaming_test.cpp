@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "db/streaming.h"
+#include "fs/intercept_fs.h"
+
+namespace ginja {
+namespace {
+
+struct StreamingHarness {
+  std::shared_ptr<RealClock> clock = std::make_shared<RealClock>();
+  std::shared_ptr<MemFs> primary_fs = std::make_shared<MemFs>();
+  std::shared_ptr<InterceptFs> intercept;
+  std::unique_ptr<Database> db;
+  std::shared_ptr<StandbyServer> standby;
+  std::unique_ptr<StreamingPrimary> primary;
+  DbLayout layout;
+
+  explicit StreamingHarness(DbFlavor flavor, ReplicationConfig config)
+      : layout(flavor == DbFlavor::kPostgres ? DbLayout::Postgres()
+                                             : DbLayout::MySql()) {
+    intercept = std::make_shared<InterceptFs>(primary_fs, clock);
+    db = std::make_unique<Database>(intercept, layout);
+    EXPECT_TRUE(db->Create().ok());
+    EXPECT_TRUE(db->CreateTable("t").ok());
+    // Base backup: a copy of the primary's files before the workload.
+    standby = std::make_shared<StandbyServer>(primary_fs->Clone(), layout);
+    primary = std::make_unique<StreamingPrimary>(standby, layout, clock, config);
+    intercept->SetListener(primary.get());
+  }
+
+  Status PutOne(int i) {
+    auto txn = db->Begin();
+    GINJA_RETURN_IF_ERROR(
+        db->Put(txn, "t", "k" + std::to_string(i), ToBytes("v" + std::to_string(i))));
+    return db->Commit(txn);
+  }
+};
+
+class StreamingTest : public ::testing::TestWithParam<DbFlavor> {};
+
+TEST_P(StreamingTest, AsyncReplicationFailsOverWarm) {
+  ReplicationConfig config;
+  config.synchronous = false;
+  config.link_latency_us = 100;  // fast link for the test
+  StreamingHarness h(GetParam(), config);
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(h.PutOne(i).ok());
+  h.primary->Drain();
+
+  auto standby_db = h.standby->Failover();
+  ASSERT_TRUE(standby_db.ok()) << standby_db.status().ToString();
+  EXPECT_EQ((*standby_db)->RowCount("t"), 50u);
+}
+
+TEST_P(StreamingTest, SyncReplicationHasZeroRpo) {
+  ReplicationConfig config;
+  config.synchronous = true;
+  config.link_latency_us = 100;
+  StreamingHarness h(GetParam(), config);
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(h.PutOne(i).ok());
+  // No drain: sync mode means every acknowledged commit is already there.
+  h.primary->Kill();
+  auto standby_db = h.standby->Failover();
+  ASSERT_TRUE(standby_db.ok());
+  EXPECT_EQ((*standby_db)->RowCount("t"), 20u);
+}
+
+TEST_P(StreamingTest, AsyncLagIsTheRpo) {
+  ReplicationConfig config;
+  config.synchronous = false;
+  config.link_latency_us = 20'000;  // slow link: lag builds up
+  StreamingHarness h(GetParam(), config);
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(h.PutOne(i).ok());
+  // Disaster before the link drains: the in-flight tail is lost.
+  h.primary->Kill();
+  EXPECT_GT(h.primary->writes_dropped(), 0u);
+
+  auto standby_db = h.standby->Failover();
+  ASSERT_TRUE(standby_db.ok());
+  const std::uint64_t rows = (*standby_db)->RowCount("t");
+  EXPECT_LT(rows, 40u);  // some updates lost...
+  // ...and what survived is a prefix.
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    EXPECT_TRUE(
+        (*standby_db)->Get("t", "k" + std::to_string(i)).has_value());
+  }
+}
+
+TEST_P(StreamingTest, SyncIsSlowerThanAsync) {
+  ReplicationConfig sync_config;
+  sync_config.synchronous = true;
+  sync_config.link_latency_us = 3'000;
+  ReplicationConfig async_config = sync_config;
+  async_config.synchronous = false;
+
+  auto run = [&](ReplicationConfig config) {
+    StreamingHarness h(GetParam(), config);
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < 15; ++i) EXPECT_TRUE(h.PutOne(i).ok());
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  const double sync_time = run(sync_config);
+  const double async_time = run(async_config);
+  EXPECT_GT(sync_time, 2.0 * async_time);  // each sync commit eats an RTT
+}
+
+TEST_P(StreamingTest, StandbyServesUpdatesAfterFailover) {
+  ReplicationConfig config;
+  config.link_latency_us = 50;
+  StreamingHarness h(GetParam(), config);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(h.PutOne(i).ok());
+  h.primary->Drain();
+  auto standby_db = h.standby->Failover();
+  ASSERT_TRUE(standby_db.ok());
+  // The promoted standby is a normal primary now.
+  auto txn = (*standby_db)->Begin();
+  ASSERT_TRUE((*standby_db)->Put(txn, "t", "post-failover", ToBytes("x")).ok());
+  ASSERT_TRUE((*standby_db)->Commit(txn).ok());
+  EXPECT_EQ((*standby_db)->RowCount("t"), 11u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Flavors, StreamingTest,
+                         ::testing::Values(DbFlavor::kPostgres, DbFlavor::kMySql),
+                         [](const auto& info) {
+                           return info.param == DbFlavor::kPostgres ? "postgres"
+                                                                    : "mysql";
+                         });
+
+}  // namespace
+}  // namespace ginja

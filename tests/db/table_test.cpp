@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "db/table.h"
+
+namespace ginja {
+namespace {
+
+TEST(Table, PutGetDelete) {
+  Table t("t", 8, 8192);
+  t.Put("k1", ToBytes("v1"), 10);
+  t.Put("k2", ToBytes("v2"), 11);
+  EXPECT_EQ(t.row_count(), 2u);
+  ASSERT_TRUE(t.Get("k1").has_value());
+  EXPECT_EQ(ToString(View(*t.Get("k1"))), "v1");
+  EXPECT_FALSE(t.Get("k3").has_value());
+  EXPECT_TRUE(t.Delete("k1", 12));
+  EXPECT_FALSE(t.Delete("k1", 13));
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_FALSE(t.Get("k1").has_value());
+}
+
+TEST(Table, OverwriteKeepsRowCount) {
+  Table t("t", 8, 8192);
+  t.Put("k", ToBytes("v1"), 1);
+  t.Put("k", ToBytes("v2-longer"), 2);
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(ToString(View(*t.Get("k"))), "v2-longer");
+}
+
+TEST(Table, DirtyTrackingRecordsFirstLsn) {
+  Table t("t", 4, 8192);
+  EXPECT_FALSE(t.IsDirty());
+  t.Put("a", ToBytes("1"), 100);
+  t.Put("a", ToBytes("2"), 200);  // same bucket: first-dirty stays 100
+  ASSERT_TRUE(t.IsDirty());
+  const auto dirty = t.DirtyPages();
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0].first_dirty_lsn, 100u);
+  EXPECT_EQ(t.OldestDirtyLsn(), 100u);
+}
+
+TEST(Table, MarkCleanClearsDirty) {
+  Table t("t", 4, 8192);
+  t.Put("a", ToBytes("1"), 1);
+  const auto dirty = t.DirtyPages();
+  ASSERT_EQ(dirty.size(), 1u);
+  t.MarkClean(dirty[0].bucket);
+  EXPECT_FALSE(t.IsDirty());
+  EXPECT_FALSE(t.OldestDirtyLsn().has_value());
+}
+
+TEST(Table, SerializeAndParseRoundTrip) {
+  const std::size_t page_size = 8192;
+  Table t("t", 2, page_size);
+  for (int i = 0; i < 50; ++i) {
+    t.Put("key" + std::to_string(i), ToBytes("value" + std::to_string(i)), 5);
+  }
+  // Build a file image: every bucket's page at bucket*page_size.
+  Bytes file(t.bucket_count() * page_size, 0);
+  for (std::uint32_t b = 0; b < t.bucket_count(); ++b) {
+    const Bytes page = t.SerializeBucket(b, /*flush_lsn=*/42);
+    std::copy(page.begin(), page.end(),
+              file.begin() + static_cast<long>(t.PageOffset(b)));
+  }
+  auto rows = Table::ParseFile(View(file), page_size);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 50u);
+  for (const auto& row : *rows) {
+    EXPECT_EQ(row.src_lsn, 42u);
+    Table fresh("t2", 2, page_size);
+    fresh.InstallLoaded(row.key, row.value);
+    EXPECT_TRUE(fresh.Get(row.key).has_value());
+  }
+}
+
+TEST(Table, ParseSkipsNeverWrittenPages) {
+  const std::size_t page_size = 8192;
+  Table t("t", 4, page_size);
+  t.Put("only", ToBytes("row"), 1);
+  Bytes file(4 * page_size, 0);  // three pages remain all-zero
+  const auto dirty = t.DirtyPages();
+  ASSERT_EQ(dirty.size(), 1u);
+  const Bytes page = t.SerializeBucket(dirty[0].bucket, 7);
+  std::copy(page.begin(), page.end(),
+            file.begin() + static_cast<long>(t.PageOffset(dirty[0].bucket)));
+  auto rows = Table::ParseFile(View(file), page_size);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST(Table, ParseRejectsCorruptPage) {
+  const std::size_t page_size = 8192;
+  Table t("t", 1, page_size);
+  t.Put("k", ToBytes("v"), 1);
+  Bytes file = t.SerializeBucket(0, 1);
+  file[100] ^= 0xFF;
+  EXPECT_FALSE(Table::ParseFile(View(file), page_size).ok());
+}
+
+TEST(Table, DuplicateKeysResolvedByFlushLsn) {
+  // Simulates the file state after a crash mid-redistribution: the same key
+  // appears in two pages; the one with the larger flush LSN must win.
+  const std::size_t page_size = 8192;
+  Table old_location("t", 1, page_size);
+  old_location.Put("k", ToBytes("stale"), 1);
+  Table new_location("t", 1, page_size);
+  new_location.Put("k", ToBytes("fresh"), 2);
+
+  Bytes file(2 * page_size, 0);
+  const Bytes stale_page = old_location.SerializeBucket(0, /*flush_lsn=*/10);
+  const Bytes fresh_page = new_location.SerializeBucket(0, /*flush_lsn=*/20);
+  std::copy(stale_page.begin(), stale_page.end(), file.begin());
+  std::copy(fresh_page.begin(), fresh_page.end(),
+            file.begin() + static_cast<long>(page_size));
+
+  auto rows = Table::ParseFile(View(file), page_size);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(ToString(View((*rows)[0].value)), "fresh");
+  EXPECT_EQ((*rows)[0].src_lsn, 20u);
+
+  // And in the reverse page order too.
+  Bytes reversed(2 * page_size, 0);
+  std::copy(fresh_page.begin(), fresh_page.end(), reversed.begin());
+  std::copy(stale_page.begin(), stale_page.end(),
+            reversed.begin() + static_cast<long>(page_size));
+  rows = Table::ParseFile(View(reversed), page_size);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(ToString(View((*rows)[0].value)), "fresh");
+}
+
+TEST(Table, SplitsWhenBucketsFill) {
+  Table t("t", 2, 1024);  // tiny pages force splits
+  const std::uint32_t before = t.bucket_count();
+  for (int i = 0; i < 200; ++i) {
+    t.Put("key-" + std::to_string(i), Bytes(40, 'x'), 1);
+  }
+  EXPECT_GT(t.bucket_count(), before);
+  EXPECT_EQ(t.row_count(), 200u);
+  // Every row survives the redistribution.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(t.Get("key-" + std::to_string(i)).has_value()) << i;
+  }
+  // Everything is dirty (the whole file must be rewritten).
+  EXPECT_EQ(t.DirtyPages().size(), t.bucket_count());
+}
+
+TEST(Table, SerializeAllBucketsAfterSplitFits) {
+  Table t("t", 2, 1024);
+  for (int i = 0; i < 500; ++i) {
+    t.Put("k" + std::to_string(i), Bytes(30, 'y'), 1);
+  }
+  for (std::uint32_t b = 0; b < t.bucket_count(); ++b) {
+    const Bytes page = t.SerializeBucket(b, 1);
+    EXPECT_EQ(page.size(), 1024u);
+  }
+}
+
+TEST(Table, ApproxBytesTracksData) {
+  Table t("t", 8, 8192);
+  EXPECT_EQ(t.ApproxDataBytes(), 0u);
+  t.Put("abc", Bytes(100, 'x'), 1);
+  EXPECT_EQ(t.ApproxDataBytes(), 103u);
+  t.Put("abc", Bytes(50, 'x'), 2);
+  EXPECT_EQ(t.ApproxDataBytes(), 53u);
+  t.Delete("abc", 3);
+  EXPECT_EQ(t.ApproxDataBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ginja

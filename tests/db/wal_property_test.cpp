@@ -1,0 +1,149 @@
+// Property tests for the WAL: random interleavings of appends, writer
+// restarts, and checkpoint-driven truncation must always replay exactly
+// the committed-transaction sequence.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "db/wal.h"
+#include "fs/mem_fs.h"
+
+namespace ginja {
+namespace {
+
+WalRecord Put(std::uint64_t txn, const std::string& key, const Bytes& value) {
+  WalRecord r;
+  r.type = WalRecordType::kPut;
+  r.txn_id = txn;
+  r.table = "t";
+  r.key = key;
+  r.value = value;
+  return r;
+}
+
+WalRecord Commit(std::uint64_t txn) {
+  WalRecord r;
+  r.type = WalRecordType::kCommit;
+  r.txn_id = txn;
+  return r;
+}
+
+struct WalPropertyParam {
+  std::uint64_t seed;
+  DbFlavor flavor;
+};
+
+class WalProperty : public ::testing::TestWithParam<WalPropertyParam> {};
+
+TEST_P(WalProperty, AppendsRestartsReplayExactly) {
+  SplitMix64 rng(GetParam().seed);
+  DbLayout layout = GetParam().flavor == DbFlavor::kPostgres
+                        ? DbLayout::Postgres()
+                        : DbLayout::MySql();
+  if (layout.flavor == DbFlavor::kPostgres) {
+    // Small segments so restarts land near boundaries too.
+    layout.wal_segment_size = 8 * layout.wal_page_size;
+  }
+  auto fs = std::make_shared<MemFs>();
+
+  std::vector<std::pair<std::string, std::size_t>> committed;  // key, size
+  Lsn end_lsn = 0;
+  std::uint64_t txn_id = 0;
+
+  // Several writer "sessions", each appending a random mix of transaction
+  // sizes, separated by restarts (writer reconstructed from end_lsn).
+  for (int session = 0; session < 5; ++session) {
+    WalWriter writer(fs, layout, end_lsn);
+    if (layout.circular_wal) {
+      // Keep the tiny circular log from wrapping over live data.
+      writer.SetCheckpointLsn(end_lsn);
+    }
+    const int txns = static_cast<int>(rng.NextInRange(1, 25));
+    for (int t = 0; t < txns; ++t) {
+      std::vector<WalRecord> records;
+      const int ops = static_cast<int>(rng.NextInRange(1, 4));
+      const std::uint64_t id = ++txn_id;
+      for (int op = 0; op < ops; ++op) {
+        const std::size_t size =
+            static_cast<std::size_t>(rng.NextInRange(0, 700));
+        const std::string key =
+            "s" + std::to_string(session) + "t" + std::to_string(t) + "o" +
+            std::to_string(op);
+        records.push_back(Put(id, key, Bytes(size, 'r')));
+        committed.emplace_back(key, size);
+      }
+      records.push_back(Commit(id));
+      auto end = writer.AppendAndSync(records);
+      ASSERT_TRUE(end.ok());
+      end_lsn = *end;
+    }
+  }
+
+  WalReader reader(fs, layout);
+  std::vector<std::pair<std::string, std::size_t>> replayed;
+  auto end = reader.Replay(0, [&](const WalRecord& r) {
+    replayed.emplace_back(r.key, r.value.size());
+  });
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(*end, end_lsn);
+  ASSERT_EQ(replayed.size(), committed.size());
+  for (std::size_t i = 0; i < committed.size(); ++i) {
+    EXPECT_EQ(replayed[i], committed[i]) << "record " << i;
+  }
+}
+
+TEST_P(WalProperty, MidStreamReplayMatchesSuffix) {
+  SplitMix64 rng(GetParam().seed * 131);
+  const DbLayout layout = GetParam().flavor == DbFlavor::kPostgres
+                              ? DbLayout::Postgres()
+                              : DbLayout::MySql();
+  auto fs = std::make_shared<MemFs>();
+  WalWriter writer(fs, layout, 0);
+
+  std::vector<Lsn> boundaries = {0};
+  std::vector<std::string> keys;
+  for (int t = 0; t < 40; ++t) {
+    const std::string key = "k" + std::to_string(t);
+    auto end = writer.AppendAndSync(
+        {Put(static_cast<std::uint64_t>(t + 1), key,
+             Bytes(rng.NextInRange(10, 400), 'x')),
+         Commit(static_cast<std::uint64_t>(t + 1))});
+    ASSERT_TRUE(end.ok());
+    boundaries.push_back(*end);
+    keys.push_back(key);
+  }
+
+  // Replaying from any transaction boundary yields exactly the suffix.
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t from =
+        static_cast<std::size_t>(rng.NextBelow(boundaries.size()));
+    std::vector<std::string> replayed;
+    auto end = WalReader(fs, layout).Replay(boundaries[from], [&](const WalRecord& r) {
+      replayed.push_back(r.key);
+    });
+    ASSERT_TRUE(end.ok());
+    const std::vector<std::string> expected(keys.begin() + static_cast<long>(from),
+                                            keys.end());
+    EXPECT_EQ(replayed, expected) << "from boundary " << from;
+  }
+}
+
+std::vector<WalPropertyParam> WalParams() {
+  std::vector<WalPropertyParam> params;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    params.push_back({seed, DbFlavor::kPostgres});
+    params.push_back({seed, DbFlavor::kMySql});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalProperty, ::testing::ValuesIn(WalParams()),
+                         [](const auto& info) {
+                           return std::string(info.param.flavor ==
+                                                      DbFlavor::kPostgres
+                                                  ? "pg"
+                                                  : "my") +
+                                  "_seed" + std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace ginja

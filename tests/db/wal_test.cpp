@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "db/wal.h"
+#include "fs/mem_fs.h"
+
+namespace ginja {
+namespace {
+
+WalRecord Put(std::uint64_t txn, const std::string& key, const std::string& val) {
+  WalRecord r;
+  r.type = WalRecordType::kPut;
+  r.txn_id = txn;
+  r.table = "t";
+  r.key = key;
+  r.value = ToBytes(val);
+  return r;
+}
+
+WalRecord Commit(std::uint64_t txn) {
+  WalRecord r;
+  r.type = WalRecordType::kCommit;
+  r.txn_id = txn;
+  return r;
+}
+
+class WalRoundTrip : public ::testing::TestWithParam<DbFlavor> {
+ protected:
+  DbLayout Layout() const {
+    return GetParam() == DbFlavor::kPostgres ? DbLayout::Postgres()
+                                             : DbLayout::MySql();
+  }
+};
+
+TEST_P(WalRoundTrip, SingleTxnReplay) {
+  auto fs = std::make_shared<MemFs>();
+  WalWriter writer(fs, Layout(), 0);
+  ASSERT_TRUE(writer.AppendAndSync({Put(1, "k", "v"), Commit(1)}).ok());
+
+  WalReader reader(fs, Layout());
+  std::vector<WalRecord> replayed;
+  auto end = reader.Replay(0, [&](const WalRecord& r) { replayed.push_back(r); });
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(*end, writer.EndLsn());
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].key, "k");
+  EXPECT_EQ(ToString(View(replayed[0].value)), "v");
+}
+
+TEST_P(WalRoundTrip, UncommittedTxnIsDiscarded) {
+  auto fs = std::make_shared<MemFs>();
+  WalWriter writer(fs, Layout(), 0);
+  ASSERT_TRUE(writer.AppendAndSync({Put(1, "a", "1"), Commit(1)}).ok());
+  // Transaction 2 never commits (crash before the commit record).
+  ASSERT_TRUE(writer.AppendAndSync({Put(2, "b", "2")}).ok());
+
+  WalReader reader(fs, Layout());
+  std::vector<std::string> keys;
+  ASSERT_TRUE(
+      reader.Replay(0, [&](const WalRecord& r) { keys.push_back(r.key); }).ok());
+  EXPECT_EQ(keys, std::vector<std::string>{"a"});
+}
+
+TEST_P(WalRoundTrip, ManyTxnsAcrossPages) {
+  auto fs = std::make_shared<MemFs>();
+  WalWriter writer(fs, Layout(), 0);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    // Values sized to force page spans for both 512 B and 8 kB pages.
+    ASSERT_TRUE(writer
+                    .AppendAndSync({Put(i, "key" + std::to_string(i),
+                                        std::string(300, 'v')),
+                                    Commit(i)})
+                    .ok());
+  }
+  WalReader reader(fs, Layout());
+  int count = 0;
+  auto end = reader.Replay(0, [&](const WalRecord&) { ++count; });
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(count, 200);
+  EXPECT_EQ(*end, writer.EndLsn());
+}
+
+TEST_P(WalRoundTrip, ReplayFromMidStream) {
+  auto fs = std::make_shared<MemFs>();
+  WalWriter writer(fs, Layout(), 0);
+  ASSERT_TRUE(writer.AppendAndSync({Put(1, "a", "1"), Commit(1)}).ok());
+  const Lsn mid = writer.EndLsn();
+  ASSERT_TRUE(writer.AppendAndSync({Put(2, "b", "2"), Commit(2)}).ok());
+
+  WalReader reader(fs, Layout());
+  std::vector<std::string> keys;
+  ASSERT_TRUE(
+      reader.Replay(mid, [&](const WalRecord& r) { keys.push_back(r.key); }).ok());
+  EXPECT_EQ(keys, std::vector<std::string>{"b"});
+}
+
+TEST_P(WalRoundTrip, WriterRestartsFromEndLsn) {
+  auto fs = std::make_shared<MemFs>();
+  Lsn end1;
+  {
+    WalWriter writer(fs, Layout(), 0);
+    ASSERT_TRUE(writer.AppendAndSync({Put(1, "a", "1"), Commit(1)}).ok());
+    end1 = writer.EndLsn();
+  }
+  {
+    WalWriter writer(fs, Layout(), end1);  // reboot
+    ASSERT_TRUE(writer.AppendAndSync({Put(2, "b", "2"), Commit(2)}).ok());
+  }
+  WalReader reader(fs, Layout());
+  int count = 0;
+  ASSERT_TRUE(reader.Replay(0, [&](const WalRecord&) { ++count; }).ok());
+  EXPECT_EQ(count, 2);
+}
+
+TEST_P(WalRoundTrip, CorruptTailStopsReplayCleanly) {
+  auto fs = std::make_shared<MemFs>();
+  DbLayout layout = Layout();
+  WalWriter writer(fs, layout, 0);
+  ASSERT_TRUE(writer.AppendAndSync({Put(1, "a", "1"), Commit(1)}).ok());
+  ASSERT_TRUE(writer.AppendAndSync({Put(2, "b", "2"), Commit(2)}).ok());
+
+  // Corrupt the page containing the tail (simulates a torn write).
+  const auto loc = layout.LocateWalPage(0);
+  auto page = fs->ReadAll(loc.file);
+  ASSERT_TRUE(page.ok());
+  (*page)[loc.offset + 20] ^= 0xFF;
+  ASSERT_TRUE(fs->Write(loc.file, 0, View(*page), false).ok());
+
+  WalReader reader(fs, layout);
+  int count = 0;
+  auto end = reader.Replay(0, [&](const WalRecord&) { ++count; });
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(count, 0);  // first page corrupt: nothing replayable
+  EXPECT_EQ(*end, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Flavors, WalRoundTrip,
+                         ::testing::Values(DbFlavor::kPostgres, DbFlavor::kMySql),
+                         [](const auto& info) {
+                           return info.param == DbFlavor::kPostgres ? "postgres"
+                                                                    : "mysql";
+                         });
+
+TEST(WalPostgres, SegmentsRollOver) {
+  // Shrink the segment so the test crosses a boundary quickly.
+  DbLayout layout = DbLayout::Postgres();
+  layout.wal_segment_size = 4 * layout.wal_page_size;
+  auto fs = std::make_shared<MemFs>();
+  WalWriter writer(fs, layout, 0);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        writer.AppendAndSync({Put(i, "k", std::string(4000, 'x')), Commit(i)}).ok());
+  }
+  auto files = fs->ListFiles("pg_xlog/");
+  ASSERT_TRUE(files.ok());
+  EXPECT_GT(files->size(), 1u);
+
+  WalReader reader(fs, layout);
+  int count = 0;
+  ASSERT_TRUE(reader.Replay(0, [&](const WalRecord&) { ++count; }).ok());
+  EXPECT_EQ(count, 20);
+}
+
+TEST(WalPostgres, RemoveSegmentsBelowCheckpoint) {
+  DbLayout layout = DbLayout::Postgres();
+  layout.wal_segment_size = 2 * layout.wal_page_size;
+  auto fs = std::make_shared<MemFs>();
+  WalWriter writer(fs, layout, 0);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        writer.AppendAndSync({Put(i, "k", std::string(6000, 'x')), Commit(i)}).ok());
+  }
+  const std::size_t before = fs->ListFiles("pg_xlog/")->size();
+  const auto removed = writer.RemoveSegmentsBelow(writer.EndLsn());
+  EXPECT_GT(removed.size(), 0u);
+  EXPECT_LT(fs->ListFiles("pg_xlog/")->size(), before);
+
+  // Replaying from the checkpoint still works: earlier segments are gone
+  // but nothing after the checkpoint needed them.
+  WalReader reader(fs, layout);
+  int count = 0;
+  ASSERT_TRUE(
+      reader.Replay(writer.EndLsn(), [&](const WalRecord&) { ++count; }).ok());
+  EXPECT_EQ(count, 0);
+}
+
+TEST(WalMySql, CircularLogWrapsWithForcedCheckpoint) {
+  DbLayout layout = DbLayout::MySql();
+  layout.wal_segment_size = 8 * layout.wal_page_size;  // tiny circular log
+  auto fs = std::make_shared<MemFs>();
+
+  // The wrap callback runs while the writer's lock is held, so it must not
+  // call back into locking methods (the engine uses its own LSN tracking;
+  // the test does the same with `last_end`).
+  int forced = 0;
+  Lsn last_end = 0;
+  WalWriter* writer_ptr = nullptr;
+  WalWriter writer(fs, layout, 0, [&] {
+    ++forced;
+    writer_ptr->SetCheckpointLsn(last_end);
+  });
+  writer_ptr = &writer;
+  writer.SetCheckpointLsn(0);
+
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    auto end = writer.AppendAndSync({Put(i, "k", std::string(200, 'x')), Commit(i)});
+    ASSERT_TRUE(end.ok());
+    last_end = *end;
+  }
+  EXPECT_GT(forced, 0);
+
+  // Only ib_logfile0/1 exist — the log recycled in place.
+  auto files = fs->ListFiles("ib_logfile");
+  ASSERT_TRUE(files.ok());
+  EXPECT_LE(files->size(), 2u);
+
+  // Replay from the last checkpoint works despite the wraps.
+  WalReader reader(fs, layout);
+  int count = 0;
+  auto end = reader.Replay(writer.EndLsn(), [&](const WalRecord&) { ++count; });
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(count, 0);
+}
+
+TEST(WalMySql, HeaderPagesAreReserved) {
+  const DbLayout layout = DbLayout::MySql();
+  const auto loc0 = layout.LocateWalPage(0);
+  EXPECT_EQ(loc0.file, "ib_logfile0");
+  EXPECT_EQ(loc0.offset, 4u * 512u);  // first data page after the header
+}
+
+TEST(WalRecord, SerializeParseCrcProtected) {
+  const WalRecord r = Put(7, "key", "value");
+  Bytes wire = r.Serialize();
+  EXPECT_EQ(wire[0], 0xA7);  // record magic
+  // Flipping a body byte must be detected (record treated as end of log).
+  wire[wire.size() - 1] ^= 1;
+  auto fs = std::make_shared<MemFs>();
+  const DbLayout layout = DbLayout::Postgres();
+  // Write the corrupted record as a page by hand is overkill; the CRC path
+  // is covered by CorruptTailStopsReplayCleanly above. Here we just check
+  // the serialized layout prefix.
+  EXPECT_EQ(wire[1], static_cast<std::uint8_t>(WalRecordType::kPut));
+  (void)fs;
+  (void)layout;
+}
+
+}  // namespace
+}  // namespace ginja

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "cloud/memory_store.h"
+#include "db/database.h"
+#include "fs/intercept_fs.h"
+#include "fs/mem_fs.h"
+#include "ginja/ginja.h"
+#include "ginja/pitr.h"
+
+namespace ginja {
+namespace {
+
+WalObjectId Wal(std::uint64_t ts, std::uint64_t max_lsn) {
+  WalObjectId id;
+  id.ts = ts;
+  id.filename = "pg_xlog/0001";
+  id.max_lsn = max_lsn;
+  return id;
+}
+
+DbObjectId Db(std::uint64_t seq, std::uint64_t ts, DbObjectType type,
+              std::uint64_t redo_lsn) {
+  DbObjectId id;
+  id.seq = seq;
+  id.ts = ts;
+  id.type = type;
+  id.redo_lsn = redo_lsn;
+  return id;
+}
+
+TEST(RetentionPolicy, EmptyPolicyKeepsNothing) {
+  RetentionPolicy policy;
+  EXPECT_TRUE(policy.Empty());
+  EXPECT_TRUE(policy.KeepSet({Wal(0, 100)}, {}).empty());
+}
+
+TEST(RetentionPolicy, KeepsDumpCheckpointsAndNeededWal) {
+  // Timeline: dump(seq0, ts=2, redo=200), wal ts 0..6 covering lsn (i+1)*100,
+  // checkpoint(seq1, ts=4, redo=450), protected point T=5.
+  RetentionPolicy policy;
+  policy.Protect(5);
+
+  std::vector<WalObjectId> wal;
+  for (std::uint64_t i = 0; i < 7; ++i) wal.push_back(Wal(i, (i + 1) * 100));
+  std::vector<DbObjectId> db = {
+      Db(0, 2, DbObjectType::kDump, 200),
+      Db(1, 4, DbObjectType::kCheckpoint, 450),
+  };
+  const auto keep = policy.KeepSet(wal, db);
+
+  // Both DB objects are kept (dump before T, checkpoint between dump and T).
+  EXPECT_TRUE(keep.count(db[0].Encode()));
+  EXPECT_TRUE(keep.count(db[1].Encode()));
+  // WAL objects <= T with max_lsn > 450: ts 4 (lsn 500) and ts 5 (lsn 600).
+  EXPECT_FALSE(keep.count(wal[3].Encode()));  // lsn 400 <= redo 450
+  EXPECT_TRUE(keep.count(wal[4].Encode()));
+  EXPECT_TRUE(keep.count(wal[5].Encode()));
+  // Objects after T are not this point's business.
+  EXPECT_FALSE(keep.count(wal[6].Encode()));
+}
+
+TEST(RetentionPolicy, LaterObjectsNotKeptForEarlierPoint) {
+  RetentionPolicy policy;
+  policy.Protect(1);
+  std::vector<DbObjectId> db = {
+      Db(0, 0, DbObjectType::kDump, 0),
+      Db(1, 5, DbObjectType::kDump, 700),  // newer than the point
+  };
+  const auto keep = policy.KeepSet({}, db);
+  EXPECT_TRUE(keep.count(db[0].Encode()));
+  EXPECT_FALSE(keep.count(db[1].Encode()));
+}
+
+TEST(RetentionPolicy, ReleaseDropsPoint) {
+  RetentionPolicy policy;
+  policy.Protect(3);
+  policy.Protect(9);
+  EXPECT_EQ(policy.ProtectedTs().size(), 2u);
+  policy.Release(3);
+  EXPECT_EQ(policy.ProtectedTs(), std::vector<std::uint64_t>{9});
+}
+
+TEST(RetentionPolicy, MultiplePointsUnionKeepSets) {
+  RetentionPolicy policy;
+  policy.Protect(2);
+  policy.Protect(6);
+  std::vector<WalObjectId> wal;
+  for (std::uint64_t i = 0; i < 8; ++i) wal.push_back(Wal(i, (i + 1) * 100));
+  std::vector<DbObjectId> db = {
+      Db(0, 1, DbObjectType::kDump, 100),
+      Db(1, 5, DbObjectType::kDump, 550),
+  };
+  const auto keep = policy.KeepSet(wal, db);
+  EXPECT_TRUE(keep.count(db[0].Encode()));  // dump for point 2
+  EXPECT_TRUE(keep.count(db[1].Encode()));  // dump for point 6
+  EXPECT_TRUE(keep.count(wal[1].Encode())); // lsn 200 > redo 100, ts<=2
+  EXPECT_TRUE(keep.count(wal[2].Encode()));
+  EXPECT_TRUE(keep.count(wal[5].Encode())); // lsn 600 > redo 550, ts<=6
+  EXPECT_FALSE(keep.count(wal[4].Encode())); // lsn 500 <= 550 and > point 2
+}
+
+// -- end to end: selective retention with GC enabled -------------------------
+
+struct PitrHarness {
+  std::shared_ptr<RealClock> clock = std::make_shared<RealClock>();
+  std::shared_ptr<MemFs> local = std::make_shared<MemFs>();
+  std::shared_ptr<InterceptFs> intercept;
+  std::shared_ptr<MemoryStore> store = std::make_shared<MemoryStore>();
+  std::unique_ptr<Database> db;
+  std::unique_ptr<Ginja> ginja;
+  GinjaConfig config;
+
+  PitrHarness() {
+    config.batch = 4;
+    config.safety = 64;
+    config.batch_timeout_us = 20'000;
+    intercept = std::make_shared<InterceptFs>(local, clock);
+    db = std::make_unique<Database>(intercept, DbLayout::Postgres());
+    EXPECT_TRUE(db->Create().ok());
+    EXPECT_TRUE(db->CreateTable("t").ok());
+    ginja = std::make_unique<Ginja>(local, store, clock, DbLayout::Postgres(),
+                                    config);
+    EXPECT_TRUE(ginja->Boot().ok());
+    intercept->SetListener(ginja.get());
+  }
+
+  void PutN(int from, int to, const std::string& value) {
+    for (int i = from; i < to; ++i) {
+      auto txn = db->Begin();
+      ASSERT_TRUE(db->Put(txn, "t", "k" + std::to_string(i), ToBytes(value)).ok());
+      ASSERT_TRUE(db->Commit(txn).ok());
+    }
+  }
+};
+
+TEST(PitrEndToEnd, SnapshotSurvivesGcAndRestores) {
+  PitrHarness h;
+  h.PutN(0, 30, "phase-1");
+  const auto snapshot = h.ginja->ProtectCurrentState();
+  ASSERT_TRUE(snapshot.has_value());
+
+  // Later phases overwrite everything, with checkpoints whose GC would
+  // normally delete the phase-1 WAL objects.
+  h.PutN(0, 30, "phase-2");
+  ASSERT_TRUE(h.db->Checkpoint().ok());
+  h.ginja->Drain();
+  h.PutN(0, 30, "phase-3");
+  ASSERT_TRUE(h.db->Checkpoint().ok());
+  h.ginja->Stop();
+
+  // Current-state recovery sees phase 3.
+  {
+    auto machine = std::make_shared<MemFs>();
+    ASSERT_TRUE(
+        Ginja::Recover(h.store, h.config, DbLayout::Postgres(), machine).ok());
+    Database latest(machine, DbLayout::Postgres());
+    ASSERT_TRUE(latest.Open().ok());
+    EXPECT_EQ(ToString(View(*latest.Get("t", "k0"))), "phase-3");
+  }
+
+  // PITR to the snapshot sees phase 1, even though GC ran twice since.
+  auto machine = std::make_shared<MemFs>();
+  ASSERT_TRUE(Ginja::Recover(h.store, h.config, DbLayout::Postgres(), machine,
+                             nullptr, *snapshot)
+                  .ok());
+  Database rewound(machine, DbLayout::Postgres());
+  ASSERT_TRUE(rewound.Open().ok());
+  for (int i = 0; i < 30; ++i) {
+    auto v = rewound.Get("t", "k" + std::to_string(i));
+    ASSERT_TRUE(v.has_value()) << i;
+    EXPECT_EQ(ToString(View(*v)), "phase-1") << i;
+  }
+}
+
+TEST(PitrEndToEnd, UnprotectedHistoryIsPruned) {
+  PitrHarness h;
+  h.PutN(0, 20, "old");
+  h.ginja->Drain();
+  const std::size_t wal_before = h.ginja->cloud_view().WalCount();
+  ASSERT_GT(wal_before, 0u);
+
+  // No protection: the checkpoint's GC removes the replicated WAL prefix.
+  ASSERT_TRUE(h.db->Checkpoint().ok());
+  h.ginja->Drain();
+  EXPECT_LT(h.ginja->cloud_view().WalCount(), wal_before);
+  h.ginja->Stop();
+}
+
+TEST(PitrEndToEnd, RestorePointsListSnapshots) {
+  PitrHarness h;
+  h.PutN(0, 10, "v");
+  const auto snapshot = h.ginja->ProtectCurrentState();
+  ASSERT_TRUE(snapshot.has_value());
+  h.PutN(10, 20, "v");
+  h.ginja->Drain();
+
+  const auto points = h.ginja->RestorePoints();
+  ASSERT_FALSE(points.empty());
+  bool found_snapshot = false;
+  for (const auto& p : points) {
+    if (p.ts == *snapshot) {
+      EXPECT_TRUE(p.is_snapshot);
+      found_snapshot = true;
+    }
+  }
+  EXPECT_TRUE(found_snapshot);
+  h.ginja->Stop();
+}
+
+TEST(PitrEndToEnd, ReleasedSnapshotGetsCollected) {
+  PitrHarness h;
+  h.PutN(0, 20, "phase-1");
+  const auto snapshot = h.ginja->ProtectCurrentState();
+  ASSERT_TRUE(snapshot.has_value());
+  h.PutN(0, 20, "phase-2");
+  ASSERT_TRUE(h.db->Checkpoint().ok());
+  h.ginja->Drain();
+  const std::size_t kept = h.ginja->cloud_view().WalCount();
+
+  // Drop the snapshot; the next checkpoint's GC reclaims its objects.
+  h.ginja->retention().Release(*snapshot);
+  h.PutN(0, 5, "phase-3");
+  ASSERT_TRUE(h.db->Checkpoint().ok());
+  h.ginja->Drain();
+  EXPECT_LT(h.ginja->cloud_view().WalCount(), kept);
+  h.ginja->Stop();
+}
+
+}  // namespace
+}  // namespace ginja

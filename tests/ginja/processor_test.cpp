@@ -1,0 +1,176 @@
+// Unit tests for the Table-1 event detection: synthetic file events in,
+// pipeline actions out — for both database personalities.
+#include <gtest/gtest.h>
+
+#include "cloud/memory_store.h"
+#include "fs/mem_fs.h"
+#include "ginja/processor.h"
+
+namespace ginja {
+namespace {
+
+struct ProcessorFixture {
+  std::shared_ptr<MemoryStore> store = std::make_shared<MemoryStore>();
+  std::shared_ptr<CloudView> view = std::make_shared<CloudView>();
+  std::shared_ptr<RealClock> clock = std::make_shared<RealClock>();
+  std::shared_ptr<Envelope> envelope = std::make_shared<Envelope>(EnvelopeOptions{});
+  std::shared_ptr<MemFs> local = std::make_shared<MemFs>();
+  std::unique_ptr<CommitPipeline> commits;
+  std::unique_ptr<CheckpointPipeline> checkpoints;
+  std::unique_ptr<DbIoProcessor> processor;
+  DbLayout layout;
+
+  explicit ProcessorFixture(DbFlavor flavor)
+      : layout(flavor == DbFlavor::kPostgres ? DbLayout::Postgres()
+                                             : DbLayout::MySql()) {
+    GinjaConfig config;
+    config.batch = 1;
+    config.safety = 1000;
+    commits = std::make_unique<CommitPipeline>(store, view, clock, config,
+                                               envelope);
+    checkpoints = std::make_unique<CheckpointPipeline>(
+        store, view, clock, config, envelope, local, layout);
+    commits->Start();
+    checkpoints->Start();
+    processor = std::make_unique<DbIoProcessor>(layout, commits.get(),
+                                                checkpoints.get());
+  }
+  ~ProcessorFixture() {
+    commits->Kill();
+    checkpoints->Kill();
+  }
+
+  FileEvent Write(const std::string& path, std::uint64_t offset,
+                  Bytes data, bool sync) {
+    FileEvent event;
+    event.kind = FileEvent::Kind::kWrite;
+    event.path = path;
+    event.offset = offset;
+    event.data = std::move(data);
+    event.sync = sync;
+    return event;
+  }
+
+  // A syntactically valid WAL page image with the given used-count.
+  Bytes WalPage(std::uint64_t logical_page, std::uint16_t used) {
+    Bytes page;
+    PutU32(page, 0);  // crc (processor does not verify it)
+    PutU16(page, used);
+    PutU64(page, logical_page);
+    page.resize(layout.wal_page_size, 0);
+    return page;
+  }
+};
+
+TEST(ProcessorPostgres, WalWriteGoesToCommitPipeline) {
+  ProcessorFixture fx(DbFlavor::kPostgres);
+  fx.processor->OnFileEvent(fx.Write("pg_xlog/000000010000000000000001", 0,
+                                     fx.WalPage(0, 100), true));
+  fx.commits->Drain();
+  EXPECT_EQ(fx.commits->stats().writes_submitted.Get(), 1u);
+  // max_lsn derived from the page header: page 0, used 100.
+  const auto objects = fx.view->WalObjects();
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].max_lsn, 100u);
+}
+
+TEST(ProcessorPostgres, ClogThenDataThenControlIsOneCheckpoint) {
+  ProcessorFixture fx(DbFlavor::kPostgres);
+  EXPECT_FALSE(fx.checkpoints->InCheckpoint());
+  // Checkpoint begin: sync write to pg_clog (Table 1).
+  fx.processor->OnFileEvent(fx.Write("pg_clog/0000", 0, Bytes(128, 1), true));
+  EXPECT_TRUE(fx.checkpoints->InCheckpoint());
+  fx.processor->OnFileEvent(
+      fx.Write("base/16384/customer", 8192, Bytes(64, 2), false));
+  // Checkpoint end: sync write to global/pg_control.
+  ControlBlock block;
+  block.checkpoint_lsn = 0;
+  block.counter = 1;
+  std::uint8_t control[ControlBlock::kEncodedSize];
+  block.EncodeTo(control);
+  fx.processor->OnFileEvent(fx.Write("global/pg_control", 0,
+                                     Bytes(control, control + sizeof control),
+                                     true));
+  EXPECT_FALSE(fx.checkpoints->InCheckpoint());
+  fx.checkpoints->Drain();
+  EXPECT_EQ(fx.checkpoints->stats().db_objects_uploaded.Get(), 1u);
+}
+
+TEST(ProcessorPostgres, SecondSegmentContinuesLsnSpace) {
+  ProcessorFixture fx(DbFlavor::kPostgres);
+  const auto pps = fx.layout.PagesPerSegment();
+  // First page of segment index 1 (name lo field is 1-based).
+  fx.processor->OnFileEvent(fx.Write("pg_xlog/000000010000000000000002", 0,
+                                     fx.WalPage(pps, 50), true));
+  fx.commits->Drain();
+  const auto objects = fx.view->WalObjects();
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].max_lsn, pps * fx.layout.WalPayloadSize() + 50);
+}
+
+TEST(ProcessorPostgres, UnknownPathsCountedNotCrashed) {
+  ProcessorFixture fx(DbFlavor::kPostgres);
+  fx.processor->OnFileEvent(fx.Write("random/file", 0, Bytes(8, 0), false));
+  EXPECT_EQ(fx.processor->unclassified_events(), 1u);
+  EXPECT_EQ(fx.commits->stats().writes_submitted.Get(), 0u);
+}
+
+TEST(ProcessorPostgres, RemoveEventsIgnored) {
+  ProcessorFixture fx(DbFlavor::kPostgres);
+  FileEvent event;
+  event.kind = FileEvent::Kind::kRemove;
+  event.path = "pg_xlog/000000010000000000000001";
+  fx.processor->OnFileEvent(event);
+  EXPECT_EQ(fx.commits->stats().writes_submitted.Get(), 0u);
+}
+
+TEST(ProcessorMySql, LogDataRegionIsWalHeaderRegionIsControl) {
+  ProcessorFixture fx(DbFlavor::kMySql);
+  // Offset 2048+ of ib_logfile0 is log data -> commit pipeline.
+  fx.processor->OnFileEvent(
+      fx.Write("ib_logfile0", 4 * 512, fx.WalPage(0, 20), true));
+  fx.commits->Drain();
+  EXPECT_EQ(fx.commits->stats().writes_submitted.Get(), 1u);
+
+  // Offset 512 of ib_logfile0 is the checkpoint header -> checkpoint end.
+  ControlBlock block;
+  block.checkpoint_lsn = 10;
+  block.counter = 1;
+  std::uint8_t control[ControlBlock::kEncodedSize];
+  block.EncodeTo(control);
+  fx.processor->OnFileEvent(
+      fx.Write("ib_logfile0", 512, Bytes(control, control + sizeof control), true));
+  fx.checkpoints->Drain();
+  EXPECT_EQ(fx.checkpoints->stats().db_objects_uploaded.Get(), 1u);
+}
+
+TEST(ProcessorMySql, DataFileWriteBeginsCheckpoint) {
+  ProcessorFixture fx(DbFlavor::kMySql);
+  EXPECT_FALSE(fx.checkpoints->InCheckpoint());
+  // Table 1: "sync. write to one of the data files (ibdata, .ibd, .frm)".
+  fx.processor->OnFileEvent(fx.Write("customer.ibd", 16384, Bytes(64, 3), true));
+  EXPECT_TRUE(fx.checkpoints->InCheckpoint());
+}
+
+TEST(ProcessorMySql, CircularWrapTracksEpochs) {
+  ProcessorFixture fx(DbFlavor::kMySql);
+  const auto slots = fx.layout.CircularSlots();
+  const auto payload = fx.layout.WalPayloadSize();
+  // Write the last slot (in ib_logfile1), then wrap to the first slot.
+  const auto last_loc = fx.layout.LocateWalPage(slots - 1);
+  fx.processor->OnFileEvent(
+      fx.Write(last_loc.file, last_loc.offset, fx.WalPage(slots - 1, 10), true));
+  const auto first_loc = fx.layout.LocateWalPage(slots);  // wrapped slot 0
+  fx.processor->OnFileEvent(
+      fx.Write(first_loc.file, first_loc.offset, fx.WalPage(slots, 10), true));
+  fx.commits->Drain();
+
+  const auto objects = fx.view->WalObjects();
+  ASSERT_EQ(objects.size(), 2u);
+  // The wrapped write maps to logical page `slots`, not page 0.
+  EXPECT_EQ(objects[1].max_lsn, slots * payload + 10);
+  EXPECT_GT(objects[1].max_lsn, objects[0].max_lsn);
+}
+
+}  // namespace
+}  // namespace ginja

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cloud/memory_store.h"
+#include "db/database.h"
+#include "fs/intercept_fs.h"
+#include "fs/mem_fs.h"
+#include "ginja/ginja.h"
+#include "ginja/verification_scheduler.h"
+
+namespace ginja {
+namespace {
+
+struct SchedulerHarness {
+  std::shared_ptr<RealClock> clock = std::make_shared<RealClock>();
+  std::shared_ptr<MemFs> local = std::make_shared<MemFs>();
+  std::shared_ptr<InterceptFs> intercept;
+  std::shared_ptr<MemoryStore> store = std::make_shared<MemoryStore>();
+  std::unique_ptr<Database> db;
+  std::unique_ptr<Ginja> ginja;
+  GinjaConfig config;
+
+  SchedulerHarness() {
+    config.batch = 4;
+    config.safety = 64;
+    config.batch_timeout_us = 10'000;
+    intercept = std::make_shared<InterceptFs>(local, clock);
+    db = std::make_unique<Database>(intercept, DbLayout::Postgres());
+    EXPECT_TRUE(db->Create().ok());
+    EXPECT_TRUE(db->CreateTable("t").ok());
+    ginja = std::make_unique<Ginja>(local, store, clock, DbLayout::Postgres(),
+                                    config);
+    EXPECT_TRUE(ginja->Boot().ok());
+    intercept->SetListener(ginja.get());
+    for (int i = 0; i < 20; ++i) {
+      auto txn = db->Begin();
+      EXPECT_TRUE(db->Put(txn, "t", "k" + std::to_string(i), ToBytes("v")).ok());
+      EXPECT_TRUE(db->Commit(txn).ok());
+    }
+    ginja->Drain();
+  }
+};
+
+TEST(VerificationScheduler, RunOnceReportsHealthyBackup) {
+  SchedulerHarness h;
+  VerificationScheduler scheduler(
+      h.store, h.config, DbLayout::Postgres(), h.clock, 1'000'000,
+      [](Database& db) { return db.RowCount("t") == 20; });
+  const auto outcome = scheduler.RunOnce();
+  EXPECT_TRUE(outcome.ok) << outcome.detail;
+  EXPECT_EQ(scheduler.runs(), 1u);
+  EXPECT_EQ(scheduler.failures(), 0u);
+}
+
+TEST(VerificationScheduler, PeriodicRunsAccumulateHistory) {
+  SchedulerHarness h;
+  std::atomic<int> callbacks{0};
+  VerificationScheduler scheduler(
+      h.store, h.config, DbLayout::Postgres(), h.clock, /*interval_us=*/20'000,
+      nullptr, [&](const VerificationOutcome&) { callbacks.fetch_add(1); });
+  scheduler.Start();
+  while (scheduler.runs() < 3) std::this_thread::yield();
+  scheduler.Stop();
+  EXPECT_GE(scheduler.History().size(), 3u);
+  EXPECT_GE(callbacks.load(), 3);
+  EXPECT_EQ(scheduler.failures(), 0u);
+}
+
+TEST(VerificationScheduler, DetectsRotterBackup) {
+  SchedulerHarness h;
+  // Sabotage the dump in the bucket.
+  auto objects = h.store->List("DB/");
+  ASSERT_TRUE(objects.ok());
+  ASSERT_FALSE(objects->empty());
+  auto blob = h.store->Get((*objects)[0].name);
+  ASSERT_TRUE(blob.ok());
+  (*blob)[blob->size() / 3] ^= 0xFF;
+  ASSERT_TRUE(h.store->Put((*objects)[0].name, View(*blob)).ok());
+
+  std::atomic<bool> paged{false};
+  VerificationScheduler scheduler(
+      h.store, h.config, DbLayout::Postgres(), h.clock, 1'000'000, nullptr,
+      [&](const VerificationOutcome& outcome) {
+        if (!outcome.ok) paged.store(true);  // "sent to an administrator"
+      });
+  const auto outcome = scheduler.RunOnce();
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_TRUE(paged.load());
+  EXPECT_EQ(scheduler.failures(), 1u);
+}
+
+TEST(VerificationScheduler, FailingServiceChecksReported) {
+  SchedulerHarness h;
+  VerificationScheduler scheduler(
+      h.store, h.config, DbLayout::Postgres(), h.clock, 1'000'000,
+      [](Database& db) { return db.RowCount("t") == 9999; });  // impossible
+  const auto outcome = scheduler.RunOnce();
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.detail, "service checks failed");
+}
+
+TEST(VerificationScheduler, StartStopIdempotent) {
+  SchedulerHarness h;
+  VerificationScheduler scheduler(h.store, h.config, DbLayout::Postgres(),
+                                  h.clock, 50'000);
+  scheduler.Start();
+  scheduler.Start();  // no-op
+  scheduler.Stop();
+  scheduler.Stop();  // no-op
+  scheduler.Start();
+  while (scheduler.runs() == 0) std::this_thread::yield();
+  scheduler.Stop();
+  EXPECT_GE(scheduler.runs(), 1u);
+}
+
+}  // namespace
+}  // namespace ginja
