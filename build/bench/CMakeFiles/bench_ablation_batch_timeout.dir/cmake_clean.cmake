@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_batch_timeout.dir/bench_ablation_batch_timeout.cpp.o"
+  "CMakeFiles/bench_ablation_batch_timeout.dir/bench_ablation_batch_timeout.cpp.o.d"
+  "bench_ablation_batch_timeout"
+  "bench_ablation_batch_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_batch_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

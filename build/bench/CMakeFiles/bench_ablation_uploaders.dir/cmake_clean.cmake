@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_uploaders.dir/bench_ablation_uploaders.cpp.o"
+  "CMakeFiles/bench_ablation_uploaders.dir/bench_ablation_uploaders.cpp.o.d"
+  "bench_ablation_uploaders"
+  "bench_ablation_uploaders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_uploaders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

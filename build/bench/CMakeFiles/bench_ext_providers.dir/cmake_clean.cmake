@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_providers.dir/bench_ext_providers.cpp.o"
+  "CMakeFiles/bench_ext_providers.dir/bench_ext_providers.cpp.o.d"
+  "bench_ext_providers"
+  "bench_ext_providers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_providers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

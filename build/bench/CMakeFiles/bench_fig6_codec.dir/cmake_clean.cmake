@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_codec.dir/bench_fig6_codec.cpp.o"
+  "CMakeFiles/bench_fig6_codec.dir/bench_fig6_codec.cpp.o.d"
+  "bench_fig6_codec"
+  "bench_fig6_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_failover.dir/auto_failover.cpp.o"
+  "CMakeFiles/auto_failover.dir/auto_failover.cpp.o.d"
+  "auto_failover"
+  "auto_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clinical_lab.dir/clinical_lab.cpp.o"
+  "CMakeFiles/clinical_lab.dir/clinical_lab.cpp.o.d"
+  "clinical_lab"
+  "clinical_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clinical_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ginja_ctl.cpp" "examples/CMakeFiles/ginja_ctl.dir/ginja_ctl.cpp.o" "gcc" "examples/CMakeFiles/ginja_ctl.dir/ginja_ctl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ginja/CMakeFiles/ginja_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/ginja_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ginja_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/ginja_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/ginja_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/ginja_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ginja_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

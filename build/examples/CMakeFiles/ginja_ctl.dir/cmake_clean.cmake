@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ginja_ctl.dir/ginja_ctl.cpp.o"
+  "CMakeFiles/ginja_ctl.dir/ginja_ctl.cpp.o.d"
+  "ginja_ctl"
+  "ginja_ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ginja_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_cloud_dr.dir/multi_cloud_dr.cpp.o"
+  "CMakeFiles/multi_cloud_dr.dir/multi_cloud_dr.cpp.o.d"
+  "multi_cloud_dr"
+  "multi_cloud_dr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_cloud_dr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

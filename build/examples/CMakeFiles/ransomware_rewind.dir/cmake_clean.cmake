@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ransomware_rewind.dir/ransomware_rewind.cpp.o"
+  "CMakeFiles/ransomware_rewind.dir/ransomware_rewind.cpp.o.d"
+  "ransomware_rewind"
+  "ransomware_rewind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ransomware_rewind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/disk_store.cpp" "src/cloud/CMakeFiles/ginja_cloud.dir/disk_store.cpp.o" "gcc" "src/cloud/CMakeFiles/ginja_cloud.dir/disk_store.cpp.o.d"
+  "/root/repo/src/cloud/faulty_store.cpp" "src/cloud/CMakeFiles/ginja_cloud.dir/faulty_store.cpp.o" "gcc" "src/cloud/CMakeFiles/ginja_cloud.dir/faulty_store.cpp.o.d"
+  "/root/repo/src/cloud/latency_model.cpp" "src/cloud/CMakeFiles/ginja_cloud.dir/latency_model.cpp.o" "gcc" "src/cloud/CMakeFiles/ginja_cloud.dir/latency_model.cpp.o.d"
+  "/root/repo/src/cloud/memory_store.cpp" "src/cloud/CMakeFiles/ginja_cloud.dir/memory_store.cpp.o" "gcc" "src/cloud/CMakeFiles/ginja_cloud.dir/memory_store.cpp.o.d"
+  "/root/repo/src/cloud/metered_store.cpp" "src/cloud/CMakeFiles/ginja_cloud.dir/metered_store.cpp.o" "gcc" "src/cloud/CMakeFiles/ginja_cloud.dir/metered_store.cpp.o.d"
+  "/root/repo/src/cloud/replicated_store.cpp" "src/cloud/CMakeFiles/ginja_cloud.dir/replicated_store.cpp.o" "gcc" "src/cloud/CMakeFiles/ginja_cloud.dir/replicated_store.cpp.o.d"
+  "/root/repo/src/cloud/s3/http_socket.cpp" "src/cloud/CMakeFiles/ginja_cloud.dir/s3/http_socket.cpp.o" "gcc" "src/cloud/CMakeFiles/ginja_cloud.dir/s3/http_socket.cpp.o.d"
+  "/root/repo/src/cloud/s3/s3_client.cpp" "src/cloud/CMakeFiles/ginja_cloud.dir/s3/s3_client.cpp.o" "gcc" "src/cloud/CMakeFiles/ginja_cloud.dir/s3/s3_client.cpp.o.d"
+  "/root/repo/src/cloud/s3/s3_server.cpp" "src/cloud/CMakeFiles/ginja_cloud.dir/s3/s3_server.cpp.o" "gcc" "src/cloud/CMakeFiles/ginja_cloud.dir/s3/s3_server.cpp.o.d"
+  "/root/repo/src/cloud/s3/sigv4.cpp" "src/cloud/CMakeFiles/ginja_cloud.dir/s3/sigv4.cpp.o" "gcc" "src/cloud/CMakeFiles/ginja_cloud.dir/s3/sigv4.cpp.o.d"
+  "/root/repo/src/cloud/s3/xml.cpp" "src/cloud/CMakeFiles/ginja_cloud.dir/s3/xml.cpp.o" "gcc" "src/cloud/CMakeFiles/ginja_cloud.dir/s3/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ginja_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ginja_cloud.dir/disk_store.cpp.o"
+  "CMakeFiles/ginja_cloud.dir/disk_store.cpp.o.d"
+  "CMakeFiles/ginja_cloud.dir/faulty_store.cpp.o"
+  "CMakeFiles/ginja_cloud.dir/faulty_store.cpp.o.d"
+  "CMakeFiles/ginja_cloud.dir/latency_model.cpp.o"
+  "CMakeFiles/ginja_cloud.dir/latency_model.cpp.o.d"
+  "CMakeFiles/ginja_cloud.dir/memory_store.cpp.o"
+  "CMakeFiles/ginja_cloud.dir/memory_store.cpp.o.d"
+  "CMakeFiles/ginja_cloud.dir/metered_store.cpp.o"
+  "CMakeFiles/ginja_cloud.dir/metered_store.cpp.o.d"
+  "CMakeFiles/ginja_cloud.dir/replicated_store.cpp.o"
+  "CMakeFiles/ginja_cloud.dir/replicated_store.cpp.o.d"
+  "CMakeFiles/ginja_cloud.dir/s3/http_socket.cpp.o"
+  "CMakeFiles/ginja_cloud.dir/s3/http_socket.cpp.o.d"
+  "CMakeFiles/ginja_cloud.dir/s3/s3_client.cpp.o"
+  "CMakeFiles/ginja_cloud.dir/s3/s3_client.cpp.o.d"
+  "CMakeFiles/ginja_cloud.dir/s3/s3_server.cpp.o"
+  "CMakeFiles/ginja_cloud.dir/s3/s3_server.cpp.o.d"
+  "CMakeFiles/ginja_cloud.dir/s3/sigv4.cpp.o"
+  "CMakeFiles/ginja_cloud.dir/s3/sigv4.cpp.o.d"
+  "CMakeFiles/ginja_cloud.dir/s3/xml.cpp.o"
+  "CMakeFiles/ginja_cloud.dir/s3/xml.cpp.o.d"
+  "libginja_cloud.a"
+  "libginja_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ginja_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/clock.cpp" "src/common/CMakeFiles/ginja_common.dir/clock.cpp.o" "gcc" "src/common/CMakeFiles/ginja_common.dir/clock.cpp.o.d"
+  "/root/repo/src/common/codec/aes128.cpp" "src/common/CMakeFiles/ginja_common.dir/codec/aes128.cpp.o" "gcc" "src/common/CMakeFiles/ginja_common.dir/codec/aes128.cpp.o.d"
+  "/root/repo/src/common/codec/crc32.cpp" "src/common/CMakeFiles/ginja_common.dir/codec/crc32.cpp.o" "gcc" "src/common/CMakeFiles/ginja_common.dir/codec/crc32.cpp.o.d"
+  "/root/repo/src/common/codec/envelope.cpp" "src/common/CMakeFiles/ginja_common.dir/codec/envelope.cpp.o" "gcc" "src/common/CMakeFiles/ginja_common.dir/codec/envelope.cpp.o.d"
+  "/root/repo/src/common/codec/hmac.cpp" "src/common/CMakeFiles/ginja_common.dir/codec/hmac.cpp.o" "gcc" "src/common/CMakeFiles/ginja_common.dir/codec/hmac.cpp.o.d"
+  "/root/repo/src/common/codec/lzss.cpp" "src/common/CMakeFiles/ginja_common.dir/codec/lzss.cpp.o" "gcc" "src/common/CMakeFiles/ginja_common.dir/codec/lzss.cpp.o.d"
+  "/root/repo/src/common/codec/sha1.cpp" "src/common/CMakeFiles/ginja_common.dir/codec/sha1.cpp.o" "gcc" "src/common/CMakeFiles/ginja_common.dir/codec/sha1.cpp.o.d"
+  "/root/repo/src/common/codec/sha256.cpp" "src/common/CMakeFiles/ginja_common.dir/codec/sha256.cpp.o" "gcc" "src/common/CMakeFiles/ginja_common.dir/codec/sha256.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/common/CMakeFiles/ginja_common.dir/config.cpp.o" "gcc" "src/common/CMakeFiles/ginja_common.dir/config.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/ginja_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/ginja_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/ginja_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/ginja_common.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

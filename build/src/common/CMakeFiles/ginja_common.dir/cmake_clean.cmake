@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ginja_common.dir/clock.cpp.o"
+  "CMakeFiles/ginja_common.dir/clock.cpp.o.d"
+  "CMakeFiles/ginja_common.dir/codec/aes128.cpp.o"
+  "CMakeFiles/ginja_common.dir/codec/aes128.cpp.o.d"
+  "CMakeFiles/ginja_common.dir/codec/crc32.cpp.o"
+  "CMakeFiles/ginja_common.dir/codec/crc32.cpp.o.d"
+  "CMakeFiles/ginja_common.dir/codec/envelope.cpp.o"
+  "CMakeFiles/ginja_common.dir/codec/envelope.cpp.o.d"
+  "CMakeFiles/ginja_common.dir/codec/hmac.cpp.o"
+  "CMakeFiles/ginja_common.dir/codec/hmac.cpp.o.d"
+  "CMakeFiles/ginja_common.dir/codec/lzss.cpp.o"
+  "CMakeFiles/ginja_common.dir/codec/lzss.cpp.o.d"
+  "CMakeFiles/ginja_common.dir/codec/sha1.cpp.o"
+  "CMakeFiles/ginja_common.dir/codec/sha1.cpp.o.d"
+  "CMakeFiles/ginja_common.dir/codec/sha256.cpp.o"
+  "CMakeFiles/ginja_common.dir/codec/sha256.cpp.o.d"
+  "CMakeFiles/ginja_common.dir/config.cpp.o"
+  "CMakeFiles/ginja_common.dir/config.cpp.o.d"
+  "CMakeFiles/ginja_common.dir/rng.cpp.o"
+  "CMakeFiles/ginja_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ginja_common.dir/stats.cpp.o"
+  "CMakeFiles/ginja_common.dir/stats.cpp.o.d"
+  "libginja_common.a"
+  "libginja_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ginja_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libginja_common.a"
+)

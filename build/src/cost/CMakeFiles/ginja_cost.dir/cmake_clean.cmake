@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ginja_cost.dir/cost_model.cpp.o"
+  "CMakeFiles/ginja_cost.dir/cost_model.cpp.o.d"
+  "libginja_cost.a"
+  "libginja_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ginja_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

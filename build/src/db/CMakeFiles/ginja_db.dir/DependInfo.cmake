@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/database.cpp" "src/db/CMakeFiles/ginja_db.dir/database.cpp.o" "gcc" "src/db/CMakeFiles/ginja_db.dir/database.cpp.o.d"
+  "/root/repo/src/db/layout.cpp" "src/db/CMakeFiles/ginja_db.dir/layout.cpp.o" "gcc" "src/db/CMakeFiles/ginja_db.dir/layout.cpp.o.d"
+  "/root/repo/src/db/streaming.cpp" "src/db/CMakeFiles/ginja_db.dir/streaming.cpp.o" "gcc" "src/db/CMakeFiles/ginja_db.dir/streaming.cpp.o.d"
+  "/root/repo/src/db/table.cpp" "src/db/CMakeFiles/ginja_db.dir/table.cpp.o" "gcc" "src/db/CMakeFiles/ginja_db.dir/table.cpp.o.d"
+  "/root/repo/src/db/wal.cpp" "src/db/CMakeFiles/ginja_db.dir/wal.cpp.o" "gcc" "src/db/CMakeFiles/ginja_db.dir/wal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ginja_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/ginja_fs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ginja_db.dir/database.cpp.o"
+  "CMakeFiles/ginja_db.dir/database.cpp.o.d"
+  "CMakeFiles/ginja_db.dir/layout.cpp.o"
+  "CMakeFiles/ginja_db.dir/layout.cpp.o.d"
+  "CMakeFiles/ginja_db.dir/streaming.cpp.o"
+  "CMakeFiles/ginja_db.dir/streaming.cpp.o.d"
+  "CMakeFiles/ginja_db.dir/table.cpp.o"
+  "CMakeFiles/ginja_db.dir/table.cpp.o.d"
+  "CMakeFiles/ginja_db.dir/wal.cpp.o"
+  "CMakeFiles/ginja_db.dir/wal.cpp.o.d"
+  "libginja_db.a"
+  "libginja_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ginja_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ginja_db.
+# This may be replaced when dependencies are built.

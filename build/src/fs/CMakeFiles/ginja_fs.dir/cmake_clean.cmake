@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ginja_fs.dir/intercept_fs.cpp.o"
+  "CMakeFiles/ginja_fs.dir/intercept_fs.cpp.o.d"
+  "CMakeFiles/ginja_fs.dir/local_fs.cpp.o"
+  "CMakeFiles/ginja_fs.dir/local_fs.cpp.o.d"
+  "CMakeFiles/ginja_fs.dir/mem_fs.cpp.o"
+  "CMakeFiles/ginja_fs.dir/mem_fs.cpp.o.d"
+  "libginja_fs.a"
+  "libginja_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ginja_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ginja/checkpoint_pipeline.cpp" "src/ginja/CMakeFiles/ginja_core.dir/checkpoint_pipeline.cpp.o" "gcc" "src/ginja/CMakeFiles/ginja_core.dir/checkpoint_pipeline.cpp.o.d"
+  "/root/repo/src/ginja/cloud_view.cpp" "src/ginja/CMakeFiles/ginja_core.dir/cloud_view.cpp.o" "gcc" "src/ginja/CMakeFiles/ginja_core.dir/cloud_view.cpp.o.d"
+  "/root/repo/src/ginja/commit_pipeline.cpp" "src/ginja/CMakeFiles/ginja_core.dir/commit_pipeline.cpp.o" "gcc" "src/ginja/CMakeFiles/ginja_core.dir/commit_pipeline.cpp.o.d"
+  "/root/repo/src/ginja/failover.cpp" "src/ginja/CMakeFiles/ginja_core.dir/failover.cpp.o" "gcc" "src/ginja/CMakeFiles/ginja_core.dir/failover.cpp.o.d"
+  "/root/repo/src/ginja/ginja.cpp" "src/ginja/CMakeFiles/ginja_core.dir/ginja.cpp.o" "gcc" "src/ginja/CMakeFiles/ginja_core.dir/ginja.cpp.o.d"
+  "/root/repo/src/ginja/object_id.cpp" "src/ginja/CMakeFiles/ginja_core.dir/object_id.cpp.o" "gcc" "src/ginja/CMakeFiles/ginja_core.dir/object_id.cpp.o.d"
+  "/root/repo/src/ginja/payload.cpp" "src/ginja/CMakeFiles/ginja_core.dir/payload.cpp.o" "gcc" "src/ginja/CMakeFiles/ginja_core.dir/payload.cpp.o.d"
+  "/root/repo/src/ginja/pitr.cpp" "src/ginja/CMakeFiles/ginja_core.dir/pitr.cpp.o" "gcc" "src/ginja/CMakeFiles/ginja_core.dir/pitr.cpp.o.d"
+  "/root/repo/src/ginja/processor.cpp" "src/ginja/CMakeFiles/ginja_core.dir/processor.cpp.o" "gcc" "src/ginja/CMakeFiles/ginja_core.dir/processor.cpp.o.d"
+  "/root/repo/src/ginja/verification_scheduler.cpp" "src/ginja/CMakeFiles/ginja_core.dir/verification_scheduler.cpp.o" "gcc" "src/ginja/CMakeFiles/ginja_core.dir/verification_scheduler.cpp.o.d"
+  "/root/repo/src/ginja/verifier.cpp" "src/ginja/CMakeFiles/ginja_core.dir/verifier.cpp.o" "gcc" "src/ginja/CMakeFiles/ginja_core.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ginja_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/ginja_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/ginja_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/ginja_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ginja_core.dir/checkpoint_pipeline.cpp.o"
+  "CMakeFiles/ginja_core.dir/checkpoint_pipeline.cpp.o.d"
+  "CMakeFiles/ginja_core.dir/cloud_view.cpp.o"
+  "CMakeFiles/ginja_core.dir/cloud_view.cpp.o.d"
+  "CMakeFiles/ginja_core.dir/commit_pipeline.cpp.o"
+  "CMakeFiles/ginja_core.dir/commit_pipeline.cpp.o.d"
+  "CMakeFiles/ginja_core.dir/failover.cpp.o"
+  "CMakeFiles/ginja_core.dir/failover.cpp.o.d"
+  "CMakeFiles/ginja_core.dir/ginja.cpp.o"
+  "CMakeFiles/ginja_core.dir/ginja.cpp.o.d"
+  "CMakeFiles/ginja_core.dir/object_id.cpp.o"
+  "CMakeFiles/ginja_core.dir/object_id.cpp.o.d"
+  "CMakeFiles/ginja_core.dir/payload.cpp.o"
+  "CMakeFiles/ginja_core.dir/payload.cpp.o.d"
+  "CMakeFiles/ginja_core.dir/pitr.cpp.o"
+  "CMakeFiles/ginja_core.dir/pitr.cpp.o.d"
+  "CMakeFiles/ginja_core.dir/processor.cpp.o"
+  "CMakeFiles/ginja_core.dir/processor.cpp.o.d"
+  "CMakeFiles/ginja_core.dir/verification_scheduler.cpp.o"
+  "CMakeFiles/ginja_core.dir/verification_scheduler.cpp.o.d"
+  "CMakeFiles/ginja_core.dir/verifier.cpp.o"
+  "CMakeFiles/ginja_core.dir/verifier.cpp.o.d"
+  "libginja_core.a"
+  "libginja_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ginja_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ginja_workload.dir/driver.cpp.o"
+  "CMakeFiles/ginja_workload.dir/driver.cpp.o.d"
+  "CMakeFiles/ginja_workload.dir/tpcc.cpp.o"
+  "CMakeFiles/ginja_workload.dir/tpcc.cpp.o.d"
+  "libginja_workload.a"
+  "libginja_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ginja_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

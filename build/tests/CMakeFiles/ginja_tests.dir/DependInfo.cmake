@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cloud/http_socket_test.cpp" "tests/CMakeFiles/ginja_tests.dir/cloud/http_socket_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/cloud/http_socket_test.cpp.o.d"
+  "/root/repo/tests/cloud/s3_test.cpp" "tests/CMakeFiles/ginja_tests.dir/cloud/s3_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/cloud/s3_test.cpp.o.d"
+  "/root/repo/tests/cloud/store_test.cpp" "tests/CMakeFiles/ginja_tests.dir/cloud/store_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/cloud/store_test.cpp.o.d"
+  "/root/repo/tests/common/bytes_test.cpp" "tests/CMakeFiles/ginja_tests.dir/common/bytes_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/common/bytes_test.cpp.o.d"
+  "/root/repo/tests/common/codec_test.cpp" "tests/CMakeFiles/ginja_tests.dir/common/codec_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/common/codec_test.cpp.o.d"
+  "/root/repo/tests/common/config_test.cpp" "tests/CMakeFiles/ginja_tests.dir/common/config_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/common/config_test.cpp.o.d"
+  "/root/repo/tests/common/util_test.cpp" "tests/CMakeFiles/ginja_tests.dir/common/util_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/common/util_test.cpp.o.d"
+  "/root/repo/tests/cost/cost_model_test.cpp" "tests/CMakeFiles/ginja_tests.dir/cost/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/cost/cost_model_test.cpp.o.d"
+  "/root/repo/tests/cost/cost_validation_test.cpp" "tests/CMakeFiles/ginja_tests.dir/cost/cost_validation_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/cost/cost_validation_test.cpp.o.d"
+  "/root/repo/tests/db/database_test.cpp" "tests/CMakeFiles/ginja_tests.dir/db/database_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/db/database_test.cpp.o.d"
+  "/root/repo/tests/db/streaming_test.cpp" "tests/CMakeFiles/ginja_tests.dir/db/streaming_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/db/streaming_test.cpp.o.d"
+  "/root/repo/tests/db/stress_test.cpp" "tests/CMakeFiles/ginja_tests.dir/db/stress_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/db/stress_test.cpp.o.d"
+  "/root/repo/tests/db/table_test.cpp" "tests/CMakeFiles/ginja_tests.dir/db/table_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/db/table_test.cpp.o.d"
+  "/root/repo/tests/db/wal_property_test.cpp" "tests/CMakeFiles/ginja_tests.dir/db/wal_property_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/db/wal_property_test.cpp.o.d"
+  "/root/repo/tests/db/wal_test.cpp" "tests/CMakeFiles/ginja_tests.dir/db/wal_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/db/wal_test.cpp.o.d"
+  "/root/repo/tests/fs/fs_test.cpp" "tests/CMakeFiles/ginja_tests.dir/fs/fs_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/fs/fs_test.cpp.o.d"
+  "/root/repo/tests/ginja/corruption_fuzz_test.cpp" "tests/CMakeFiles/ginja_tests.dir/ginja/corruption_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/ginja/corruption_fuzz_test.cpp.o.d"
+  "/root/repo/tests/ginja/crash_fuzz_test.cpp" "tests/CMakeFiles/ginja_tests.dir/ginja/crash_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/ginja/crash_fuzz_test.cpp.o.d"
+  "/root/repo/tests/ginja/end_to_end_test.cpp" "tests/CMakeFiles/ginja_tests.dir/ginja/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/ginja/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/ginja/failover_test.cpp" "tests/CMakeFiles/ginja_tests.dir/ginja/failover_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/ginja/failover_test.cpp.o.d"
+  "/root/repo/tests/ginja/object_id_test.cpp" "tests/CMakeFiles/ginja_tests.dir/ginja/object_id_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/ginja/object_id_test.cpp.o.d"
+  "/root/repo/tests/ginja/pipeline_test.cpp" "tests/CMakeFiles/ginja_tests.dir/ginja/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/ginja/pipeline_test.cpp.o.d"
+  "/root/repo/tests/ginja/pitr_test.cpp" "tests/CMakeFiles/ginja_tests.dir/ginja/pitr_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/ginja/pitr_test.cpp.o.d"
+  "/root/repo/tests/ginja/processor_test.cpp" "tests/CMakeFiles/ginja_tests.dir/ginja/processor_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/ginja/processor_test.cpp.o.d"
+  "/root/repo/tests/ginja/verification_scheduler_test.cpp" "tests/CMakeFiles/ginja_tests.dir/ginja/verification_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/ginja/verification_scheduler_test.cpp.o.d"
+  "/root/repo/tests/workload/tpcc_test.cpp" "tests/CMakeFiles/ginja_tests.dir/workload/tpcc_test.cpp.o" "gcc" "tests/CMakeFiles/ginja_tests.dir/workload/tpcc_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ginja/CMakeFiles/ginja_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/ginja_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ginja_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/ginja_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/ginja_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/ginja_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ginja_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
