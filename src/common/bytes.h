@@ -119,4 +119,37 @@ inline void Append(Bytes& out, ByteView in) {
   out.insert(out.end(), in.begin(), in.end());
 }
 
+// -- scatter-gather payloads --------------------------------------------------
+
+// An ordered list of borrowed byte ranges that together form one logical
+// buffer. Producers (entry framing, checkpoint part-splitting) emit views
+// over existing buffers instead of copies; the envelope encoder consumes the
+// pieces directly. The referenced storage must outlive the view.
+struct PayloadView {
+  std::vector<ByteView> pieces;
+  std::size_t total = 0;
+
+  void Add(ByteView piece) {
+    if (piece.empty()) return;
+    pieces.push_back(piece);
+    total += piece.size();
+  }
+
+  std::size_t size() const { return total; }
+  bool empty() const { return total == 0; }
+
+  Bytes Flatten() const {
+    Bytes out;
+    out.reserve(total);
+    for (ByteView p : pieces) Append(out, p);
+    return out;
+  }
+};
+
+inline PayloadView OnePiece(ByteView v) {
+  PayloadView p;
+  p.Add(v);
+  return p;
+}
+
 }  // namespace ginja

@@ -1,10 +1,39 @@
 #include "common/codec/aes128.h"
 
+#include <algorithm>
 #include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <emmintrin.h>
+#include <wmmintrin.h>
+#define GINJA_AESNI_CAPABLE 1
+#endif
 
 namespace ginja {
 
 namespace {
+
+bool HasAesNi() {
+#ifdef GINJA_AESNI_CAPABLE
+  static const bool has = __builtin_cpu_supports("aes");
+  return has;
+#else
+  return false;
+#endif
+}
+
+// XORs `n` keystream bytes over `data` a uint64 word at a time.
+inline void XorWords(std::uint8_t* data, const std::uint8_t* ks, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t d, k;
+    std::memcpy(&d, data + i, 8);
+    std::memcpy(&k, ks + i, 8);
+    d ^= k;
+    std::memcpy(data + i, &d, 8);
+  }
+  for (; i < n; ++i) data[i] ^= ks[i];
+}
 
 constexpr std::uint8_t kSbox[256] = {
     0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
@@ -103,18 +132,107 @@ void Aes128::EncryptBlock(std::uint8_t s[16]) const {
 
 Bytes Aes128::Ctr(ByteView data, std::uint64_t nonce) const {
   Bytes out(data.begin(), data.end());
-  std::uint8_t counter_block[16];
-  for (std::size_t offset = 0, counter = 0; offset < out.size();
-       offset += 16, ++counter) {
-    for (int i = 0; i < 8; ++i) {
-      counter_block[i] = static_cast<std::uint8_t>(nonce >> (8 * i));
-      counter_block[8 + i] = static_cast<std::uint8_t>(counter >> (8 * i));
-    }
-    EncryptBlock(counter_block);
-    const std::size_t n = std::min<std::size_t>(16, out.size() - offset);
-    for (std::size_t i = 0; i < n; ++i) out[offset + i] ^= counter_block[i];
-  }
+  CtrInPlace(out.data(), out.size(), nonce, 0);
   return out;
 }
+
+void Aes128::CtrInPlace(std::uint8_t* data, std::size_t len,
+                        std::uint64_t nonce, std::uint64_t counter) const {
+#ifdef GINJA_AESNI_CAPABLE
+  if (HasAesNi()) {
+    CtrInPlaceAesni(data, len, nonce, counter);
+    return;
+  }
+#endif
+  CtrInPlacePortable(data, len, nonce, counter);
+}
+
+void Aes128::CtrInPlacePortable(std::uint8_t* data, std::size_t len,
+                                std::uint64_t nonce,
+                                std::uint64_t counter) const {
+  // Generate the keystream in batches so the counter-block setup and the XOR
+  // both run over long contiguous runs instead of per 16-byte block.
+  constexpr std::size_t kBatchBlocks = 64;
+  alignas(16) std::uint8_t ks[kBatchBlocks * 16];
+  std::size_t offset = 0;
+  while (offset < len) {
+    const std::size_t blocks =
+        std::min(kBatchBlocks, (len - offset + 15) / 16);
+    for (std::size_t b = 0; b < blocks; ++b, ++counter) {
+      std::uint8_t* block = ks + b * 16;
+      for (int i = 0; i < 8; ++i) {
+        block[i] = static_cast<std::uint8_t>(nonce >> (8 * i));
+        block[8 + i] = static_cast<std::uint8_t>(counter >> (8 * i));
+      }
+      EncryptBlock(block);
+    }
+    const std::size_t n = std::min(len - offset, blocks * 16);
+    XorWords(data + offset, ks, n);
+    offset += n;
+  }
+}
+
+#ifdef GINJA_AESNI_CAPABLE
+
+namespace {
+// Free function rather than a lambda: GCC lambdas do not inherit the
+// enclosing function's target("aes") attribute.
+__attribute__((target("aes,sse2"))) inline __m128i AesniEncrypt(
+    __m128i b, const __m128i rk[11]) {
+  b = _mm_xor_si128(b, rk[0]);
+  for (int r = 1; r < 10; ++r) b = _mm_aesenc_si128(b, rk[r]);
+  return _mm_aesenclast_si128(b, rk[10]);
+}
+}  // namespace
+
+__attribute__((target("aes,sse2"))) void Aes128::CtrInPlaceAesni(
+    std::uint8_t* data, std::size_t len, std::uint64_t nonce,
+    std::uint64_t counter) const {
+  __m128i rk[11];
+  for (int r = 0; r < 11; ++r) {
+    rk[r] = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(round_keys_.data() + r * 16));
+  }
+  auto make_counter = [&](std::uint64_t c) {
+    return _mm_set_epi64x(static_cast<long long>(c),
+                          static_cast<long long>(nonce));
+  };
+
+  std::size_t offset = 0;
+  // Four independent counter blocks per pass keep the AES units pipelined.
+  while (offset + 64 <= len) {
+    __m128i k0 = _mm_xor_si128(make_counter(counter + 0), rk[0]);
+    __m128i k1 = _mm_xor_si128(make_counter(counter + 1), rk[0]);
+    __m128i k2 = _mm_xor_si128(make_counter(counter + 2), rk[0]);
+    __m128i k3 = _mm_xor_si128(make_counter(counter + 3), rk[0]);
+    for (int r = 1; r < 10; ++r) {
+      k0 = _mm_aesenc_si128(k0, rk[r]);
+      k1 = _mm_aesenc_si128(k1, rk[r]);
+      k2 = _mm_aesenc_si128(k2, rk[r]);
+      k3 = _mm_aesenc_si128(k3, rk[r]);
+    }
+    k0 = _mm_aesenclast_si128(k0, rk[10]);
+    k1 = _mm_aesenclast_si128(k1, rk[10]);
+    k2 = _mm_aesenclast_si128(k2, rk[10]);
+    k3 = _mm_aesenclast_si128(k3, rk[10]);
+    __m128i* p = reinterpret_cast<__m128i*>(data + offset);
+    _mm_storeu_si128(p + 0, _mm_xor_si128(_mm_loadu_si128(p + 0), k0));
+    _mm_storeu_si128(p + 1, _mm_xor_si128(_mm_loadu_si128(p + 1), k1));
+    _mm_storeu_si128(p + 2, _mm_xor_si128(_mm_loadu_si128(p + 2), k2));
+    _mm_storeu_si128(p + 3, _mm_xor_si128(_mm_loadu_si128(p + 3), k3));
+    counter += 4;
+    offset += 64;
+  }
+  while (offset < len) {
+    alignas(16) std::uint8_t ks[16];
+    _mm_store_si128(reinterpret_cast<__m128i*>(ks),
+                    AesniEncrypt(make_counter(counter++), rk));
+    const std::size_t n = std::min<std::size_t>(16, len - offset);
+    XorWords(data + offset, ks, n);
+    offset += n;
+  }
+}
+
+#endif  // GINJA_AESNI_CAPABLE
 
 }  // namespace ginja

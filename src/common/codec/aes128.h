@@ -6,6 +6,13 @@
 // makes encryption and decryption the same operation. The key is held only
 // in memory, mirroring the paper's key-handling discussion (§5.4).
 //
+// The CTR hot path XORs the keystream over the data in place: the keystream
+// is generated in multi-block batches per key-schedule pass and applied with
+// uint64 word XORs, and on x86 with AES-NI the batch is produced four blocks
+// at a time in hardware (runtime-detected; the portable path stays as the
+// fallback). CTR is seekable: a `counter` start lets independent chunks of
+// one object be encrypted concurrently without keystream overlap.
+//
 // Validated against the FIPS-197 Appendix C vector in the codec tests.
 #pragma once
 
@@ -31,7 +38,21 @@ class Aes128 {
   // the counter block; the block counter the last 8.
   Bytes Ctr(ByteView data, std::uint64_t nonce) const;
 
+  // In-place CTR starting at block counter `counter`: equivalent to XORing
+  // with keystream blocks [counter, counter + ceil(len/16)). The allocation-
+  // free form used on the envelope hot path; `counter` offsets give chunked
+  // objects disjoint keystream ranges.
+  void CtrInPlace(std::uint8_t* data, std::size_t len, std::uint64_t nonce,
+                  std::uint64_t counter = 0) const;
+
  private:
+  void CtrInPlacePortable(std::uint8_t* data, std::size_t len,
+                          std::uint64_t nonce, std::uint64_t counter) const;
+#if defined(__x86_64__) || defined(__i386__)
+  void CtrInPlaceAesni(std::uint8_t* data, std::size_t len,
+                       std::uint64_t nonce, std::uint64_t counter) const;
+#endif
+
   // 11 round keys of 16 bytes each.
   std::array<std::uint8_t, 176> round_keys_;
 };

@@ -1,0 +1,81 @@
+#include "common/codec/codec_pool.h"
+
+#include <algorithm>
+
+namespace ginja {
+
+CodecPool::CodecPool(int threads) {
+  const int spawn = std::max(0, threads - 1);
+  workers_.reserve(static_cast<std::size_t>(spawn));
+  for (int i = 0; i < spawn; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+CodecPool::~CodecPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void CodecPool::ParallelFor(std::size_t n,
+                            const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> job_lock(job_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    job_n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    ++job_seq_;
+  }
+  work_cv_.notify_all();
+
+  // The caller is a full participant: it drains indices alongside the
+  // workers, then waits for any worker still inside its last index.
+  RunIndices();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  fn_ = nullptr;
+  job_n_ = 0;
+}
+
+void CodecPool::WorkerLoop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (fn_ != nullptr && job_seq_ != seen);
+      });
+      if (stop_) return;
+      seen = job_seq_;
+      ++active_;
+    }
+    RunIndices();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void CodecPool::RunIndices() {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job_n_) return;
+    (*fn_)(i);
+  }
+}
+
+}  // namespace ginja

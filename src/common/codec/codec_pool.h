@@ -1,0 +1,63 @@
+// Shared worker pool for chunk-parallel codec work.
+//
+// Large envelopes are split into fixed-size chunks that compress and encrypt
+// independently (CTR seekability gives each chunk a disjoint keystream
+// range). One pool is shared by the commit and checkpoint pipelines so the
+// codec concurrency budget is a single knob (`codec_threads`), not a
+// per-pipeline thread explosion.
+//
+// ParallelFor(n, fn) runs fn(0..n-1) across the workers *and* the calling
+// thread, returning when every index completed. Calls are serialized: the
+// pool runs one job at a time, which matches the encoder's use (one object
+// encoded at a time per uploader, chunks fanned out within it).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ginja {
+
+class CodecPool {
+ public:
+  // `threads` is the total codec concurrency including the calling thread,
+  // so the pool spawns threads-1 workers. threads <= 1 spawns none and
+  // ParallelFor degenerates to a serial loop on the caller.
+  explicit CodecPool(int threads);
+  ~CodecPool();
+
+  CodecPool(const CodecPool&) = delete;
+  CodecPool& operator=(const CodecPool&) = delete;
+
+  // Runs fn(i) for i in [0, n) across workers + caller; blocks until done.
+  // fn must be safe to invoke concurrently for distinct indices.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+ private:
+  void WorkerLoop();
+  // Claims indices from next_ until the job is exhausted.
+  void RunIndices();
+
+  std::mutex job_mu_;  // serializes ParallelFor callers
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // job posted or stop
+  std::condition_variable done_cv_;  // all indices finished
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::uint64_t job_seq_ = 0;  // bumps per job so workers never re-run one
+  std::atomic<std::size_t> next_{0};
+  int active_ = 0;  // workers currently inside the job
+  bool stop_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ginja

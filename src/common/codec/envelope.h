@@ -6,15 +6,32 @@
 // together with it"). Decoding verifies the MAC before doing anything
 // else and reverses the pipeline.
 //
-// Layout:
-//   magic   u32   'GNJ1'
-//   flags   u8    bit0 = compressed, bit1 = encrypted
-//   nonce   u64   CTR nonce (0 when not encrypted)
-//   mac     20B   HMAC-SHA1(key, payload)
-//   payload ...
+// Two wire versions share a 33-byte header (magic u32, flags u8, nonce u64,
+// mac 20B):
+//
+//   v1 'GNJ1' — payload is a single stream:
+//     payload ...            (LZSS stream if bit0, AES-CTR'd if bit1)
+//
+//   v2 'GNJ2' — chunked layout used above parallel_encode_threshold:
+//     varint total_size      logical payload bytes
+//     varint chunk_bytes     logical bytes per chunk (last may be short)
+//     per chunk: u32 token = (enc_len << 1) | compressed, enc_len bytes
+//
+// v2 chunks hold independent LZSS streams and use CTR counter offset
+// chunk_index * blocks_per_chunk, so chunks encode concurrently with
+// disjoint keystream ranges and byte-identical output regardless of the
+// thread count. Incompressible chunks store raw (compressed bit 0), which
+// bounds enc_len <= chunk_bytes and keeps keystream ranges disjoint. The
+// MAC always covers everything after the header.
+//
+// The hot path is EncodeInto: it consumes a scatter-gather PayloadView,
+// reserves the output once, compresses straight into it, encrypts in place
+// (CTR XORs the keystream over the written bytes), and patches the MAC into
+// the reserved header slot — no intermediate full-payload buffers.
 #pragma once
 
 #include <array>
+#include <memory>
 #include <string>
 
 #include "common/bytes.h"
@@ -25,12 +42,21 @@
 
 namespace ginja {
 
+class CodecPool;
+
 struct EnvelopeOptions {
   bool compress = false;
   bool encrypt = false;
   // Password for key derivation. When encryption is off, only the MAC key is
   // derived from it (paper: a default configuration string).
   std::string password = "ginja-default-mac-key";
+  // Payloads strictly larger than this encode as chunked v2 objects; at or
+  // below, as v1. The format depends only on this threshold (never on
+  // whether a codec pool is attached), so serial and parallel encodes of
+  // the same payload are byte-identical.
+  std::size_t parallel_encode_threshold = 256 * 1024;
+  // Logical bytes per v2 chunk.
+  std::size_t encode_chunk_bytes = 256 * 1024;
 };
 
 // Cumulative work counters, consumed by the Table-4 resource-usage model.
@@ -39,17 +65,31 @@ struct CodecStats {
   Counter bytes_decompressed;
   Counter bytes_encrypted;     // bytes through AES-CTR (either direction)
   Counter bytes_macced;        // bytes through HMAC
+  Counter bytes_copied;        // payload bytes gathered into scratch buffers
+                               // on the encode path (the copy-counting hook:
+                               // zero-copy encodes keep this at ~0)
 };
 
 class Envelope {
  public:
   explicit Envelope(EnvelopeOptions options);
 
+  // Optional worker pool for chunk-parallel v2 encoding. Without one (or
+  // with a single-threaded pool) chunks encode serially — same bytes out.
+  void SetCodecPool(std::shared_ptr<CodecPool> pool) { pool_ = std::move(pool); }
+
   // Encodes a payload for upload. Nonce must be unique per object; Ginja
   // uses the object timestamp.
   Bytes Encode(ByteView payload, std::uint64_t nonce) const;
 
-  // Verifies the MAC and reverses compression/encryption.
+  // Zero-copy encode: consumes the payload as scatter-gather pieces and
+  // replaces `out` (clearing it first, reusing its capacity) with the
+  // enveloped object.
+  void EncodeInto(const PayloadView& payload, std::uint64_t nonce,
+                  Bytes& out) const;
+
+  // Verifies the MAC and reverses compression/encryption. Accepts both
+  // wire versions.
   Result<Bytes> Decode(ByteView enveloped) const;
 
   const EnvelopeOptions& options() const { return options_; }
@@ -58,9 +98,31 @@ class Envelope {
   static constexpr std::size_t kHeaderSize = 4 + 1 + 8 + 20;
 
  private:
+  // Resolves logical range [begin, begin+len) of the payload: a direct
+  // subspan when it lies within one piece, else a gather into `scratch`
+  // (counted in stats_.bytes_copied).
+  ByteView GatherRange(const PayloadView& payload, std::size_t begin,
+                       std::size_t len, Bytes& scratch) const;
+
+  void EncodeV1Into(const PayloadView& payload, std::uint64_t nonce,
+                    Bytes& out) const;
+  void EncodeV2Into(const PayloadView& payload, std::uint64_t nonce,
+                    Bytes& out) const;
+  // Writes the 33-byte header over out[0..kHeaderSize): magic, flags,
+  // nonce, and the MAC of out[kHeaderSize..].
+  void SealHeader(std::uint32_t magic, std::uint8_t flags, std::uint64_t nonce,
+                  Bytes& out) const;
+
+  Result<Bytes> DecodeV1(std::uint8_t flags, std::uint64_t nonce,
+                         ByteView body) const;
+  Result<Bytes> DecodeV2(std::uint8_t flags, std::uint64_t nonce,
+                         ByteView body) const;
+
   EnvelopeOptions options_;
   std::array<std::uint8_t, 16> enc_key_;
   std::array<std::uint8_t, 16> mac_key_;
+  Aes128 enc_aes_;  // key schedule expanded once, shared by every encode
+  std::shared_ptr<CodecPool> pool_;
   mutable CodecStats stats_;
 };
 

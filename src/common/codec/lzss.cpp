@@ -1,5 +1,6 @@
 #include "common/codec/lzss.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -17,18 +18,50 @@ inline std::uint32_t HashAt(const std::uint8_t* p) {
   return (v * 2654435761u) >> (32 - kHashBits);
 }
 
+// Length of the common prefix of a and b, capped at max_len. Compares a word
+// at a time; the XOR of two words pinpoints the first differing byte.
+inline std::size_t MatchLength(const std::uint8_t* a, const std::uint8_t* b,
+                               std::size_t max_len) {
+  std::size_t len = 0;
+#if defined(__GNUC__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  while (len + 8 <= max_len) {
+    std::uint64_t x, y;
+    std::memcpy(&x, a + len, 8);
+    std::memcpy(&y, b + len, 8);
+    const std::uint64_t diff = x ^ y;
+    if (diff != 0) {
+      return len + static_cast<std::size_t>(__builtin_ctzll(diff) >> 3);
+    }
+    len += 8;
+  }
+#endif
+  while (len < max_len && a[len] == b[len]) ++len;
+  return len;
+}
+
 }  // namespace
 
 Bytes Lzss::Compress(ByteView input) {
   Bytes out;
   out.reserve(input.size() / 2 + 16);
+  CompressAppend(input, out);
+  return out;
+}
+
+void Lzss::CompressAppend(ByteView input, Bytes& out) {
   PutVarint(out, input.size());
-  if (input.empty()) return out;
+  if (input.empty()) return;
 
   // Hash chains: head[h] = most recent position with hash h; prev[i] = the
-  // previous position with the same hash as i.
-  std::vector<std::int32_t> head(kHashSize, -1);
-  std::vector<std::int32_t> prev(input.size(), -1);
+  // previous position with the same hash as i. The scratch vectors are
+  // thread-local so repeated calls (and the per-chunk parallel encoders)
+  // skip the allocation; `head` must be reset every call, but `prev` needs
+  // no initialisation — a chain only reaches entries inserted this call,
+  // and insertion writes prev[i] before linking i into its chain.
+  thread_local std::vector<std::int32_t> head;
+  thread_local std::vector<std::int32_t> prev;
+  head.assign(kHashSize, -1);
+  if (prev.size() < input.size()) prev.resize(input.size());
 
   Bytes pending;          // token payload bytes for the current flag group
   std::uint8_t flags = 0; // bit i set => token i is a match
@@ -59,10 +92,15 @@ Bytes Lzss::Compress(ByteView input) {
       for (int probes = 0; cand >= 0 && probes < kMaxChainProbes; ++probes) {
         const std::size_t dist = pos - static_cast<std::size_t>(cand);
         if (dist > kWindow) break;
-        std::size_t len = 0;
         const std::uint8_t* a = input.data() + cand;
         const std::uint8_t* b = input.data() + pos;
-        while (len < max_len && a[len] == b[len]) ++len;
+        // A candidate can only beat best_len if it also matches at that
+        // offset, so reject most losers with one byte compare.
+        if (best_len > 0 && a[best_len] != b[best_len]) {
+          cand = prev[cand];
+          continue;
+        }
+        const std::size_t len = MatchLength(a, b, max_len);
         if (len > best_len) {
           best_len = len;
           best_dist = dist;
@@ -98,37 +136,67 @@ Bytes Lzss::Compress(ByteView input) {
     if (++flag_count == 8) flush_group(pos < input.size());
   }
   if (flag_count > 0) flush_group(false);
-  return out;
 }
 
 std::optional<Bytes> Lzss::Decompress(ByteView input) {
+  Bytes out;
+  if (!DecompressAppend(input, out)) return std::nullopt;
+  return out;
+}
+
+bool Lzss::DecompressAppend(ByteView input, Bytes& out) {
   std::size_t pos = 0;
   const auto orig_size = GetVarint(input, pos);
-  if (!orig_size) return std::nullopt;
-  Bytes out;
-  out.reserve(*orig_size);
+  if (!orig_size) return false;
+  const std::size_t base = out.size();
+  const std::size_t target = base + *orig_size;
+  out.reserve(target);
 
-  while (out.size() < *orig_size) {
-    if (pos >= input.size()) return std::nullopt;
+  while (out.size() < target) {
+    if (pos >= input.size()) return false;
     const std::uint8_t flags = input[pos++];
-    for (int bit = 0; bit < 8 && out.size() < *orig_size; ++bit) {
+    for (int bit = 0; bit < 8 && out.size() < target; ++bit) {
       if (flags & (1u << bit)) {
         const auto dist = GetVarint(input, pos);
         const auto len_enc = GetVarint(input, pos);
-        if (!dist || !len_enc || *dist == 0 || *dist > out.size()) {
-          return std::nullopt;
+        if (!dist || !len_enc || *dist == 0 || *dist > out.size() - base) {
+          return false;
         }
-        const std::size_t len = *len_enc + Lzss::kMinMatch;
-        const std::size_t start = out.size() - *dist;
-        for (std::size_t i = 0; i < len; ++i) out.push_back(out[start + i]);
+        const std::size_t len =
+            std::min<std::size_t>(*len_enc + Lzss::kMinMatch, target - out.size());
+        if (len != *len_enc + Lzss::kMinMatch) return false;  // overruns size
+        const std::size_t src = out.size() - *dist;
+        out.resize(out.size() + len);
+        std::uint8_t* dst = out.data() + out.size() - len;
+        if (*dist >= len) {
+          std::memcpy(dst, out.data() + src, len);
+        } else {
+          // Overlapping run: seed with the `dist`-byte period, then double
+          // the copied region until the match is filled.
+          std::memcpy(dst, out.data() + src, *dist);
+          std::size_t copied = *dist;
+          while (copied < len) {
+            const std::size_t n = std::min(copied, len - copied);
+            std::memcpy(dst + copied, dst, n);
+            copied += n;
+          }
+        }
       } else {
-        if (pos >= input.size()) return std::nullopt;
-        out.push_back(input[pos++]);
+        // Literal run: consume every consecutive 0-flag in this group with
+        // one block copy instead of a byte-at-a-time loop.
+        int run = 1;
+        while (bit + run < 8 && !(flags & (1u << (bit + run)))) ++run;
+        const std::size_t take = std::min<std::size_t>(
+            {static_cast<std::size_t>(run), target - out.size(),
+             input.size() - pos});
+        if (take == 0) return false;
+        Append(out, input.subspan(pos, take));
+        pos += take;
+        bit += static_cast<int>(take) - 1;
       }
     }
   }
-  if (out.size() != *orig_size) return std::nullopt;
-  return out;
+  return out.size() == target;
 }
 
 }  // namespace ginja

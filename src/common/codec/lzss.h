@@ -24,8 +24,18 @@ class Lzss {
 
   static Bytes Compress(ByteView input);
 
+  // Appends the compressed stream to `out` without allocating an output
+  // buffer of its own — the envelope encoder compresses straight into the
+  // upload buffer it has already reserved.
+  static void CompressAppend(ByteView input, Bytes& out);
+
   // Returns nullopt if the stream is malformed/truncated.
   static std::optional<Bytes> Decompress(ByteView input);
+
+  // Appends the decompressed payload to `out`; returns false on a
+  // malformed/truncated stream (out may then hold a partial suffix). Match
+  // back-references may not reach before the append start.
+  static bool DecompressAppend(ByteView input, Bytes& out);
 };
 
 }  // namespace ginja

@@ -4,6 +4,11 @@
 // longer collision-resistant, but as a MAC primitive under HMAC it is still
 // sound — and we reproduce the paper's exact choice. Validated against the
 // FIPS/RFC 3174 test vectors in tests/common/codec_test.cpp.
+//
+// Bulk input is hashed in multi-block runs; on x86 with the SHA extensions
+// the compression function runs in hardware (runtime-detected, with the
+// portable implementation as fallback). MACs sit on the envelope encode hot
+// path, so this matters for upload throughput.
 #pragma once
 
 #include <array>
@@ -32,6 +37,7 @@ class Sha1 {
 
  private:
   void ProcessBlock(const std::uint8_t* block);
+  void ProcessBlocks(const std::uint8_t* data, std::size_t blocks);
 
   std::uint32_t h_[5];
   std::uint8_t buffer_[64];

@@ -37,8 +37,17 @@ void CheckpointPipeline::Kill() {
     killed_ = true;
   }
   idle_cv_.notify_all();
+  frontier_cv_.notify_all();
   queue_.Close();
   if (thread_.joinable()) thread_.join();
+}
+
+void CheckpointPipeline::NotifyFrontier() {
+  // Empty critical section: fences against the checkpointer evaluating its
+  // wait predicate, so an advance between "predicate false" and "wait"
+  // cannot lose the wakeup.
+  { std::lock_guard<std::mutex> lock(mu_); }
+  frontier_cv_.notify_all();
 }
 
 void CheckpointPipeline::OnCheckpointBegin() {
@@ -148,9 +157,10 @@ void CheckpointPipeline::Drain() {
 }
 
 Status CheckpointPipeline::UploadWithRetry(const std::string& name,
-                                           ByteView payload,
+                                           const PayloadView& payload,
                                            std::uint64_t nonce) {
-  const Bytes enveloped = envelope_->Encode(payload, nonce);
+  Bytes enveloped;
+  envelope_->EncodeInto(payload, nonce, enveloped);
   Status st = Status::Unavailable("not attempted");
   for (int attempt = 0; attempt < config_.max_retries; ++attempt) {
     st = store_->Put(name, View(enveloped));
@@ -185,16 +195,16 @@ void CheckpointPipeline::CheckpointerLoop() {
     // would recover pages "from the future" of the recoverable WAL,
     // breaking the transaction-history-prefix guarantee.
     if (wal_frontier_fn_ && job->wal_frontier > 0) {
+      // Event-driven wait: the commit pipeline's Unlocker calls
+      // NotifyFrontier() (via Ginja's listener wiring) on every frontier
+      // advance, so no polling is needed; Kill() also signals.
       bool aborted = false;
-      while (wal_frontier_fn_() < job->wal_frontier) {
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          if (killed_) {
-            aborted = true;
-            break;
-          }
-        }
-        clock_->SleepMicros(1'000);
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        frontier_cv_.wait(lock, [&] {
+          return killed_ || wal_frontier_fn_() >= job->wal_frontier;
+        });
+        aborted = killed_;
       }
       if (aborted) continue;
 
@@ -212,9 +222,11 @@ void CheckpointPipeline::CheckpointerLoop() {
       }
     }
     // Split the entries into parts at the object-size limit; large single
-    // entries (e.g. a dumped multi-GB table file) are chunked.
-    std::vector<std::vector<FileEntry>> parts;
-    std::vector<FileEntry> current;
+    // entries (e.g. a dumped multi-GB table file) are chunked. Parts hold
+    // subspan refs into job->entries — no data is copied; the job outlives
+    // every upload below.
+    std::vector<std::vector<FileEntryRef>> parts;
+    std::vector<FileEntryRef> current;
     std::size_t bytes = 0;
     auto flush_part = [&] {
       if (!current.empty()) {
@@ -223,19 +235,15 @@ void CheckpointPipeline::CheckpointerLoop() {
         bytes = 0;
       }
     };
-    for (auto& entry : job->entries) {
+    for (const auto& entry : job->entries) {
       std::size_t pos = 0;
       do {
         const std::size_t chunk =
             std::min(config_.max_object_bytes, entry.data.size() - pos);
         if (bytes + chunk > config_.max_object_bytes) flush_part();
-        FileEntry piece;
-        piece.path = entry.path;
-        piece.offset = entry.offset + pos;
-        piece.data.assign(entry.data.begin() + static_cast<long>(pos),
-                          entry.data.begin() + static_cast<long>(pos + chunk));
+        current.push_back(
+            {entry.path, entry.offset + pos, View(entry.data).subspan(pos, chunk)});
         bytes += chunk;
-        current.push_back(std::move(piece));
         pos += chunk;
       } while (pos < entry.data.size());
     }
@@ -245,8 +253,9 @@ void CheckpointPipeline::CheckpointerLoop() {
     const std::uint64_t seq = view_->NextCheckpointSeq();
     bool all_uploaded = true;
     std::vector<DbObjectId> ids;
+    Bytes framing;  // reused per part; EncodeEntriesView keeps its capacity
     for (std::uint32_t part = 0; part < parts.size(); ++part) {
-      const Bytes payload = EncodeEntries(parts[part]);
+      const PayloadView payload = EncodeEntriesView(parts[part], framing);
       DbObjectId id;
       id.ts = job->ts;
       id.type = job->type;
@@ -259,7 +268,7 @@ void CheckpointPipeline::CheckpointerLoop() {
       // Nonce: unique per DB object part (seq/part disjoint from WAL ts
       // space by the high bit).
       const std::uint64_t nonce = (1ull << 63) | (seq << 16) | part;
-      if (!UploadWithRetry(name, View(payload), nonce).ok()) {
+      if (!UploadWithRetry(name, payload, nonce).ok()) {
         all_uploaded = false;
         break;
       }

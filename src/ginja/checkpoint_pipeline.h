@@ -79,6 +79,11 @@ class CheckpointPipeline {
   // Provider of the commit pipeline's acknowledged WAL frontier.
   void SetWalFrontierFn(std::function<Lsn()> fn) { wal_frontier_fn_ = std::move(fn); }
 
+  // Wakes the checkpointer's WAL-coverage wait. The frontier provider's
+  // owner calls this whenever the frontier advances (wired to the commit
+  // pipeline's frontier listener), replacing the old 1 ms poll loop.
+  void NotifyFrontier();
+
   void Drain();
 
   // Selective point-in-time retention (§5.4): garbage collection keeps the
@@ -103,7 +108,7 @@ class CheckpointPipeline {
 
   void CheckpointerLoop();
   std::vector<FileEntry> BuildDumpEntries() const;
-  Status UploadWithRetry(const std::string& name, ByteView payload,
+  Status UploadWithRetry(const std::string& name, const PayloadView& payload,
                          std::uint64_t nonce);
   void GarbageCollect(const DbObjectJob& job, std::uint64_t uploaded_seq);
 
@@ -119,6 +124,7 @@ class CheckpointPipeline {
 
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;
+  std::condition_variable frontier_cv_;  // WAL-coverage gate (CheckpointerLoop)
   bool in_checkpoint_ = false;
   std::uint64_t checkpoint_ts_ = 0;
   std::vector<FileEntry> collected_;

@@ -87,21 +87,23 @@ void CommitPipeline::Submit(WalWrite write) {
   // are picked up by its TB poll. Avoids a wakeup per commit.
   if (queue_.size() - aggregated_ >= config_.batch) queue_cv_.notify_one();
 
+  // Event-driven block (no polling): while blocked, ShouldBlock can only
+  // flip to false through an Unlocker pop, and every pop signals
+  // unblock_cv_. Time passing alone never unblocks (it only *ages* the
+  // front entry toward the TS limit), so waiting without a timeout is safe.
   bool blocked = false;
   while (!killed_ && ShouldBlockLocked(clock_->NowMicros())) {
     if (!blocked) {
       blocked = true;
       stats_.blocked_waits.Add();  // counted on entry: observable mid-stall
     }
-    unblock_cv_.wait_for(lock, kPollInterval);
+    unblock_cv_.wait(lock);
   }
 }
 
 void CommitPipeline::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
-  while (!killed_ && !queue_.empty()) {
-    unblock_cv_.wait_for(lock, kPollInterval);
-  }
+  unblock_cv_.wait(lock, [&] { return killed_ || queue_.empty(); });
 }
 
 std::size_t CommitPipeline::PendingWrites() const {
@@ -220,17 +222,24 @@ void CommitPipeline::AggregatorLoop() {
       UploadJob job;
       job.batch_seq = batch_seq;
       job.name = id.Encode();
-      job.payload = EncodeEntries(obj.entries);
+      job.entries = std::move(obj.entries);
       job.nonce = id.ts;
-      stats_.object_logical_bytes.Record(static_cast<double>(job.payload.size()));
       upload_queue_.Put(std::move(job));
     }
   }
 }
 
 void CommitPipeline::UploaderLoop() {
+  // Framing and envelope buffers are reused across jobs: EncodeInto clears
+  // them but keeps their capacity, so a steady-state uploader stops
+  // allocating altogether.
+  Bytes framing;
+  Bytes enveloped;
   while (auto job = upload_queue_.Take()) {
-    const Bytes enveloped = envelope_->Encode(View(job->payload), job->nonce);
+    const PayloadView payload =
+        EncodeEntriesView(MakeEntryRefs(job->entries), framing);
+    stats_.object_logical_bytes.Record(static_cast<double>(payload.size()));
+    envelope_->EncodeInto(payload, job->nonce, enveloped);
     int attempts = 0;
     bool uploaded = false;
     while (attempts < config_.max_retries) {
@@ -261,33 +270,40 @@ void CommitPipeline::UploaderLoop() {
 
 void CommitPipeline::UnlockerLoop() {
   while (auto ack = ack_queue_.Take()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!ack->uploaded) frontier_broken_.store(true);
-    for (auto& batch : batches_) {
-      if (batch.seq == ack->batch_seq) {
-        ++batch.objects_acked;
-        break;
+    bool advanced = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!ack->uploaded) frontier_broken_.store(true);
+      for (auto& batch : batches_) {
+        if (batch.seq == ack->batch_seq) {
+          ++batch.objects_acked;
+          break;
+        }
       }
-    }
-    // Remove completed batches from the head only — this is the
-    // consecutive-timestamp rule that bounds loss to S despite parallel
-    // out-of-order uploads (Alg. 2 lines 19–22).
-    while (!batches_.empty() &&
-           batches_.front().objects_acked >= batches_.front().objects_total) {
-      const std::size_t n = batches_.front().item_count;
-      assert(queue_.size() >= n && aggregated_ >= n);
-      for (std::size_t i = 0; i < n; ++i) queue_.pop_front();
-      aggregated_ -= n;
-      // The recoverable WAL frontier advances only with the consecutive
-      // prefix of *successfully* acknowledged batches.
-      if (!frontier_broken_.load() &&
-          batches_.front().max_lsn > frontier_lsn_.load()) {
-        frontier_lsn_.store(batches_.front().max_lsn, std::memory_order_release);
+      // Remove completed batches from the head only — this is the
+      // consecutive-timestamp rule that bounds loss to S despite parallel
+      // out-of-order uploads (Alg. 2 lines 19–22).
+      while (!batches_.empty() &&
+             batches_.front().objects_acked >= batches_.front().objects_total) {
+        const std::size_t n = batches_.front().item_count;
+        assert(queue_.size() >= n && aggregated_ >= n);
+        for (std::size_t i = 0; i < n; ++i) queue_.pop_front();
+        aggregated_ -= n;
+        // The recoverable WAL frontier advances only with the consecutive
+        // prefix of *successfully* acknowledged batches.
+        if (!frontier_broken_.load() &&
+            batches_.front().max_lsn > frontier_lsn_.load()) {
+          frontier_lsn_.store(batches_.front().max_lsn,
+                              std::memory_order_release);
+          advanced = true;
+        }
+        batches_.pop_front();
+        stats_.batches_uploaded.Add();
       }
-      batches_.pop_front();
-      stats_.batches_uploaded.Add();
+      unblock_cv_.notify_all();
     }
-    unblock_cv_.notify_all();
+    // Off-lock: the listener takes the checkpoint pipeline's mutex.
+    if (advanced && frontier_listener_) frontier_listener_();
   }
 }
 

@@ -14,6 +14,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -83,6 +84,14 @@ class CommitPipeline {
   Lsn UploadedWalFrontier() const {
     return frontier_lsn_.load(std::memory_order_acquire);
   }
+
+  // Invoked (off-lock, from the Unlocker thread) every time the frontier
+  // advances; the checkpoint pipeline hooks this to wake its WAL-coverage
+  // wait instead of polling UploadedWalFrontier(). Set before Start().
+  void SetFrontierListener(std::function<void()> fn) {
+    frontier_listener_ = std::move(fn);
+  }
+
   const CommitPipelineStats& stats() const { return stats_; }
 
  private:
@@ -96,7 +105,10 @@ class CommitPipeline {
   struct UploadJob {
     std::uint64_t batch_seq = 0;
     std::string name;
-    Bytes payload;       // pre-envelope
+    // Entries travel unencoded: the uploader frames them as a scatter-gather
+    // view and envelopes straight from the entry buffers — the aggregator
+    // never materialises a flat payload copy.
+    std::vector<FileEntry> entries;
     std::uint64_t nonce = 0;
   };
 
@@ -134,6 +146,7 @@ class CommitPipeline {
   // Set once an upload permanently fails (only possible at shutdown/kill):
   // the frontier must never advance past the resulting gap.
   std::atomic<bool> frontier_broken_{false};
+  std::function<void()> frontier_listener_;
   CommitPipelineStats stats_;
 };
 

@@ -38,6 +38,10 @@ struct GinjaConfig {
 
   // -- object encoding (§5.4) -----------------------------------------------------
   EnvelopeOptions envelope;
+  // Codec concurrency (including the encoding thread itself) for
+  // chunk-parallel envelope encoding of large objects; one CodecPool is
+  // shared by the commit and checkpoint pipelines. <= 1 encodes serially.
+  int codec_threads = 4;
 
   // -- point-in-time recovery (§5.4) ----------------------------------------------
   // When true, garbage collection keeps superseded objects so the database

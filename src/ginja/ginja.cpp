@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/codec/codec_pool.h"
 #include "ginja/payload.h"
 
 namespace ginja {
@@ -17,6 +18,10 @@ Ginja::Ginja(VfsPtr local_vfs, ObjectStorePtr store,
       view_(std::make_shared<CloudView>()),
       retention_(std::make_shared<RetentionPolicy>()),
       envelope_(std::make_shared<Envelope>(config.envelope)) {
+  if (config_.codec_threads > 1) {
+    codec_pool_ = std::make_shared<CodecPool>(config_.codec_threads);
+    envelope_->SetCodecPool(codec_pool_);
+  }
   commits_ = std::make_unique<CommitPipeline>(store_, view_, clock_, config_,
                                               envelope_);
   checkpoints_ = std::make_unique<CheckpointPipeline>(
@@ -24,6 +29,9 @@ Ginja::Ginja(VfsPtr local_vfs, ObjectStorePtr store,
   checkpoints_->SetRetentionPolicy(retention_);
   checkpoints_->SetWalFrontierFn(
       [this] { return commits_->UploadedWalFrontier(); });
+  // Frontier advances wake the checkpointer's WAL-coverage wait directly
+  // instead of the old 1 ms poll.
+  commits_->SetFrontierListener([this] { checkpoints_->NotifyFrontier(); });
   processor_ = std::make_unique<DbIoProcessor>(layout_, commits_.get(),
                                                checkpoints_.get());
 }

@@ -2,6 +2,15 @@
 
 namespace ginja {
 
+std::vector<FileEntryRef> MakeEntryRefs(const std::vector<FileEntry>& entries) {
+  std::vector<FileEntryRef> refs;
+  refs.reserve(entries.size());
+  for (const auto& e : entries) {
+    refs.push_back({e.path, e.offset, View(e.data)});
+  }
+  return refs;
+}
+
 Bytes EncodeEntries(const std::vector<FileEntry>& entries) {
   Bytes out;
   PutVarint(out, entries.size());
@@ -13,6 +22,38 @@ Bytes EncodeEntries(const std::vector<FileEntry>& entries) {
     Append(out, View(e.data));
   }
   return out;
+}
+
+PayloadView EncodeEntriesView(const std::vector<FileEntryRef>& entries,
+                              Bytes& framing) {
+  // Pass 1: write every framing run (count, then per entry: path_len, path,
+  // offset, data_len) into one buffer, remembering where each run ends.
+  // Views are built afterwards so buffer reallocation can't invalidate them.
+  framing.clear();
+  std::vector<std::size_t> marks;
+  marks.reserve(entries.size());
+  PutVarint(framing, entries.size());
+  for (const auto& e : entries) {
+    PutVarint(framing, e.path.size());
+    Append(framing, ByteView(reinterpret_cast<const std::uint8_t*>(e.path.data()),
+                             e.path.size()));
+    PutVarint(framing, e.offset);
+    PutVarint(framing, e.data.size());
+    marks.push_back(framing.size());
+  }
+
+  // Pass 2: interleave framing slices with the borrowed data buffers.
+  PayloadView view;
+  view.pieces.reserve(entries.size() * 2 + 1);
+  const ByteView f = View(framing);
+  std::size_t prev = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    view.Add(f.subspan(prev, marks[i] - prev));
+    view.Add(entries[i].data);
+    prev = marks[i];
+  }
+  if (prev < f.size()) view.Add(f.subspan(prev));  // empty list: just count
+  return view;
 }
 
 Result<std::vector<FileEntry>> DecodeEntries(ByteView payload) {
@@ -30,9 +71,6 @@ Result<std::vector<FileEntry>> DecodeEntries(ByteView payload) {
     e.path.assign(reinterpret_cast<const char*>(payload.data() + pos), *path_len);
     pos += *path_len;
     const auto offset = GetVarint(payload, pos);
-    if (!offset && !(pos <= payload.size())) {
-      return Status::Corruption("entry offset truncated");
-    }
     if (!offset) return Status::Corruption("entry offset truncated");
     e.offset = *offset;
     const auto data_len = GetVarint(payload, pos);

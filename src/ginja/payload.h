@@ -6,6 +6,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/bytes.h"
@@ -19,7 +20,26 @@ struct FileEntry {
   Bytes data;
 };
 
+// Borrowed form of FileEntry used on the encode hot path: the referenced
+// path/data storage must outlive the ref (and any PayloadView built on it).
+struct FileEntryRef {
+  std::string_view path;
+  std::uint64_t offset = 0;
+  ByteView data;
+};
+
+std::vector<FileEntryRef> MakeEntryRefs(const std::vector<FileEntry>& entries);
+
 Bytes EncodeEntries(const std::vector<FileEntry>& entries);
+
+// Zero-copy form of EncodeEntries: writes only the per-entry framing
+// (varints + paths) into `framing` and returns a scatter-gather view that
+// interleaves framing slices with the entries' own data buffers — byte
+// identical to EncodeEntries without copying entry data. `framing` is
+// cleared and must outlive the returned view.
+PayloadView EncodeEntriesView(const std::vector<FileEntryRef>& entries,
+                              Bytes& framing);
+
 Result<std::vector<FileEntry>> DecodeEntries(ByteView payload);
 
 }  // namespace ginja
