@@ -185,4 +185,53 @@ inline void PrintHeader(const char* title) {
   std::printf("================================================================\n");
 }
 
+// Machine-readable result line, one JSON object per measurement:
+//   BENCH_fig7 {"warehouses":10,"profile":"wan","k":16,"model_minutes":0.07}
+// CI greps for the `BENCH_<name> ` prefix and parses the rest as JSON.
+class JsonLine {
+ public:
+  explicit JsonLine(std::string name) : name_(std::move(name)) {}
+
+  JsonLine& Field(const char* key, const std::string& value) {
+    Key(key);
+    body_ += '"';
+    body_ += value;  // benchmark labels only: no escaping needed
+    body_ += '"';
+    return *this;
+  }
+  JsonLine& Field(const char* key, const char* value) {
+    return Field(key, std::string(value));
+  }
+  JsonLine& Field(const char* key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    Key(key);
+    body_ += buf;
+    return *this;
+  }
+  JsonLine& Field(const char* key, std::uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    Key(key);
+    body_ += buf;
+    return *this;
+  }
+  JsonLine& Field(const char* key, int value) {
+    return Field(key, static_cast<std::uint64_t>(value));
+  }
+
+  void Emit() const { std::printf("BENCH_%s {%s}\n", name_.c_str(), body_.c_str()); }
+
+ private:
+  void Key(const char* key) {
+    if (!body_.empty()) body_ += ',';
+    body_ += '"';
+    body_ += key;
+    body_ += "\":";
+  }
+  std::string name_;
+  std::string body_;
+};
+
 }  // namespace ginja::bench

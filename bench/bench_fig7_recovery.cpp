@@ -1,6 +1,8 @@
 // Figure 7: recovery time after a failure during TPC-C, as a function of
 // database size (number of warehouses), recovering (a) to an on-premises
-// server over the WAN and (b) to an EC2 VM colocated with the bucket.
+// server over the WAN and (b) to an EC2 VM colocated with the bucket —
+// plus a prefetch sweep (K = GETs in flight) over the windowed recovery
+// pipeline. K=1 is the paper's serial download loop.
 #include "bench_common.h"
 
 using namespace ginja;
@@ -10,15 +12,25 @@ namespace {
 
 constexpr double kModelSeconds = 20.0;
 
+// Recovery is measured as scaled wall-clock (report.duration_micros on a
+// ScaledClock), not the old `GET count × mean latency` formula — the
+// formula assumed sequential downloads and would mis-report any overlap.
+// A smaller scale than the workload's kTimeScale keeps host-CPU time
+// (decode/decompress, inflated ×scale in model time) from contaminating
+// the network-dominated measurement on small machines.
+constexpr double kRecoveryTimeScale = 5.0;
+
 struct RecoveryResult {
   double minutes = 0;
   std::uint64_t bytes = 0;
   std::uint64_t objects = 0;
 };
 
-RecoveryResult RecoverWith(ObjectStorePtr raw, const GinjaConfig& config,
-                           const DbLayout& layout, LatencyParams latency) {
-  auto clock = std::make_shared<ScaledClock>(kTimeScale);
+RecoveryResult RecoverWith(ObjectStorePtr raw, GinjaConfig config,
+                           const DbLayout& layout, LatencyParams latency,
+                           int prefetch) {
+  config.recovery_prefetch = prefetch;
+  auto clock = std::make_shared<ScaledClock>(kRecoveryTimeScale);
   auto latency_model = std::make_shared<LatencyModel>(latency, clock);
   auto metered = std::make_shared<MeteredStore>(raw, clock, latency_model);
   auto target = std::make_shared<MemFs>();
@@ -30,13 +42,7 @@ RecoveryResult RecoverWith(ObjectStorePtr raw, const GinjaConfig& config,
   Database db(target, layout);
   (void)db.Open();
   RecoveryResult result;
-  // Recovery time = the modelled network time (downloads are sequential in
-  // Alg. 1), free of host-CPU contamination from the scaled clock.
-  const double network_us =
-      static_cast<double>(metered->get_latency().Count()) *
-          metered->get_latency().Mean() +
-      static_cast<double>(metered->Usage().lists) * latency.list_base_us;
-  result.minutes = network_us / 60e6;
+  result.minutes = static_cast<double>(report.duration_micros) / 60e6;
   result.bytes = report.bytes_downloaded;
   result.objects = report.objects_downloaded;
   return result;
@@ -46,14 +52,18 @@ RecoveryResult RecoverWith(ObjectStorePtr raw, const GinjaConfig& config,
 
 int main() {
   PrintHeader("Figure 7 — recovery time vs. database size (TPC-C warehouses)");
-  std::printf("%-12s %-12s %-14s %-22s %-22s\n", "warehouses", "objects",
-              "downloaded", "on-premises (model)", "EC2 colocated (model)");
 
   GinjaConfig config;
   config.batch = 100;
   config.safety = 1000;
   config.batch_timeout_us = 1'000'000;
   config.safety_timeout_us = 30'000'000;
+
+  const int kSweep[] = {1, 4, 16};
+  std::printf("%-11s %-9s %-12s", "warehouses", "objects", "downloaded");
+  for (int k : kSweep) std::printf(" wan(K=%-2d)", k);
+  for (int k : kSweep) std::printf(" ec2(K=%-2d)", k);
+  std::printf("   [model-minutes]\n");
 
   for (int warehouses : {1, 5, 10}) {
     auto stack = BuildStack(DbFlavor::kPostgres, Mode::kGinja, config,
@@ -67,19 +77,44 @@ int main() {
     const DbLayout layout = stack->db->layout();
     stack.reset();  // the primary site is gone
 
-    const RecoveryResult wan =
-        RecoverWith(raw, config, layout, LatencyParams::WanS3());
-    const RecoveryResult ec2 =
-        RecoverWith(raw, config, layout, LatencyParams::Ec2Colocated());
-    std::printf("%-12d %-12llu %-14s %-22.2f %-22.2f\n", warehouses,
-                static_cast<unsigned long long>(wan.objects),
-                HumanBytes(static_cast<double>(wan.bytes)).c_str(), wan.minutes,
-                ec2.minutes);
+    RecoveryResult wan[3], ec2[3];
+    for (int i = 0; i < 3; ++i) {
+      wan[i] = RecoverWith(raw, config, layout, LatencyParams::WanS3(),
+                           kSweep[i]);
+      ec2[i] = RecoverWith(raw, config, layout, LatencyParams::Ec2Colocated(),
+                           kSweep[i]);
+    }
+
+    std::printf("%-11d %-9llu %-12s", warehouses,
+                static_cast<unsigned long long>(wan[0].objects),
+                HumanBytes(static_cast<double>(wan[0].bytes)).c_str());
+    for (int i = 0; i < 3; ++i) std::printf(" %-9.2f", wan[i].minutes);
+    for (int i = 0; i < 3; ++i) std::printf(" %-9.2f", ec2[i].minutes);
+    std::printf("\n");
+
+    for (int i = 0; i < 3; ++i) {
+      for (const char* profile : {"wan", "ec2"}) {
+        const RecoveryResult& r = profile[0] == 'w' ? wan[i] : ec2[i];
+        const RecoveryResult& base = profile[0] == 'w' ? wan[0] : ec2[0];
+        JsonLine("fig7")
+            .Field("warehouses", warehouses)
+            .Field("profile", profile)
+            .Field("k", kSweep[i])
+            .Field("model_minutes", r.minutes)
+            .Field("objects", r.objects)
+            .Field("bytes", r.bytes)
+            .Field("speedup_vs_k1",
+                   r.minutes > 0 ? base.minutes / r.minutes : 0.0)
+            .Emit();
+      }
+    }
   }
 
   std::printf(
       "\nExpected shape (paper Section 8.3): recovery time grows with the\n"
       "database size; recovering into a VM colocated with the bucket is\n"
-      "dramatically faster (and free of egress charges).\n");
+      "dramatically faster (and free of egress charges). The K sweep shows\n"
+      "the windowed prefetcher collapsing the per-object WAN round-trips;\n"
+      "K=1 reproduces the paper's serial loop.\n");
   return 0;
 }

@@ -1,0 +1,229 @@
+#include "cloud/transfer.h"
+
+#include <algorithm>
+
+namespace ginja {
+
+namespace {
+
+// Transient errors worth retrying; NOT_FOUND and CORRUPTION are answers,
+// not failures, and retrying them would only hide real damage.
+bool Retryable(ErrorCode code) {
+  return code == ErrorCode::kUnavailable || code == ErrorCode::kIoError;
+}
+
+// Slice length for cancellable backoff sleeps (model time).
+constexpr std::uint64_t kSleepSliceUs = 20'000;
+
+}  // namespace
+
+TransferManager::TransferManager(ObjectStorePtr store, TransferOptions options,
+                                 std::shared_ptr<Clock> clock)
+    : store_(std::move(store)),
+      options_(options),
+      clock_(clock ? std::move(clock) : std::make_shared<RealClock>()),
+      rng_(options.seed) {
+  options_.concurrency = std::max(1, options_.concurrency);
+  options_.max_attempts = std::max(1, options_.max_attempts);
+  workers_.reserve(static_cast<std::size_t>(options_.concurrency));
+  for (int i = 0; i < options_.concurrency; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TransferManager::~TransferManager() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  // Fail whatever is still queued (only possible after Cancel raced new
+  // submissions, or when futures were dropped mid-shutdown).
+  for (auto& op : queue_) Fail(op, Status::Aborted("transfer manager destroyed"));
+}
+
+void TransferManager::Fail(Op& op, const Status& status) {
+  if (op.kind == Op::Kind::kGet) {
+    op.get_result.set_value(Result<Bytes>(status));
+  } else {
+    op.status_result.set_value(status);
+  }
+}
+
+bool TransferManager::Enqueue(Op op) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!cancelled_.load(std::memory_order_acquire) && !stop_) {
+      queue_.push_back(std::move(op));
+      cv_.notify_one();
+      return true;
+    }
+  }
+  Fail(op, Status::Aborted("transfer manager cancelled"));
+  return false;
+}
+
+std::future<Result<Bytes>> TransferManager::GetAsync(std::string name) {
+  Op op;
+  op.kind = Op::Kind::kGet;
+  op.name = std::move(name);
+  auto future = op.get_result.get_future();
+  Enqueue(std::move(op));
+  return future;
+}
+
+std::future<Status> TransferManager::PutAsync(std::string name, Bytes data) {
+  Op op;
+  op.kind = Op::Kind::kPut;
+  op.name = std::move(name);
+  op.data = std::move(data);
+  auto future = op.status_result.get_future();
+  Enqueue(std::move(op));
+  return future;
+}
+
+std::future<Status> TransferManager::DeleteAsync(std::string name) {
+  Op op;
+  op.kind = Op::Kind::kDelete;
+  op.name = std::move(name);
+  auto future = op.status_result.get_future();
+  Enqueue(std::move(op));
+  return future;
+}
+
+std::vector<Status> TransferManager::DeleteAll(
+    const std::vector<std::string>& names) {
+  std::vector<std::future<Status>> futures;
+  futures.reserve(names.size());
+  for (const auto& name : names) futures.push_back(DeleteAsync(name));
+  std::vector<Status> statuses;
+  statuses.reserve(names.size());
+  for (auto& f : futures) statuses.push_back(f.get());
+  return statuses;
+}
+
+void TransferManager::Cancel() {
+  std::deque<Op> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_.store(true, std::memory_order_release);
+    orphans.swap(queue_);
+  }
+  cv_.notify_all();
+  for (auto& op : orphans) Fail(op, Status::Aborted("transfer manager cancelled"));
+}
+
+std::uint64_t TransferManager::JitteredBackoff(std::uint64_t base_us) {
+  double factor = 1.0;
+  if (options_.backoff_jitter > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    factor = 1.0 + options_.backoff_jitter * (2.0 * rng_.NextDouble() - 1.0);
+  }
+  return static_cast<std::uint64_t>(static_cast<double>(base_us) * factor);
+}
+
+bool TransferManager::BackoffSleep(std::uint64_t micros) {
+  while (micros > 0) {
+    if (cancelled_.load(std::memory_order_acquire)) return false;
+    const std::uint64_t slice = std::min(micros, kSleepSliceUs);
+    clock_->SleepMicros(slice);
+    micros -= slice;
+  }
+  return !cancelled_.load(std::memory_order_acquire);
+}
+
+void TransferManager::WorkerLoop() {
+  while (true) {
+    Op op;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return stop_ || cancelled_.load(std::memory_order_acquire) ||
+               !queue_.empty();
+      });
+      if (queue_.empty()) {
+        if (stop_ || cancelled_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      op = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const int now_inflight =
+        stats_.inflight.fetch_add(1, std::memory_order_relaxed) + 1;
+    int peak = stats_.peak_inflight.load(std::memory_order_relaxed);
+    while (peak < now_inflight &&
+           !stats_.peak_inflight.compare_exchange_weak(
+               peak, now_inflight, std::memory_order_relaxed)) {
+    }
+    Execute(op);
+    stats_.inflight.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void TransferManager::Execute(Op& op) {
+  const std::uint64_t started = clock_->NowMicros();
+  std::uint64_t backoff = options_.backoff_initial_us;
+  Status last(ErrorCode::kUnavailable, "not attempted");
+  for (int attempt = 1;; ++attempt) {
+    switch (op.kind) {
+      case Op::Kind::kGet: {
+        auto blob = store_->Get(op.name);
+        if (blob.ok()) {
+          stats_.gets.Add();
+          stats_.bytes_downloaded.Add(blob->size());
+          stats_.get_latency_us.Record(
+              static_cast<double>(clock_->NowMicros() - started));
+          op.get_result.set_value(std::move(blob));
+          return;
+        }
+        last = blob.status();
+        break;
+      }
+      case Op::Kind::kPut: {
+        Status st = store_->Put(op.name, View(op.data));
+        if (st.ok()) {
+          stats_.puts.Add();
+          stats_.bytes_uploaded.Add(op.data.size());
+          stats_.put_latency_us.Record(
+              static_cast<double>(clock_->NowMicros() - started));
+          op.status_result.set_value(st);
+          return;
+        }
+        last = st;
+        break;
+      }
+      case Op::Kind::kDelete: {
+        Status st = store_->Delete(op.name);
+        if (st.ok()) {
+          stats_.deletes.Add();
+          stats_.delete_latency_us.Record(
+              static_cast<double>(clock_->NowMicros() - started));
+          op.status_result.set_value(st);
+          return;
+        }
+        last = st;
+        break;
+      }
+    }
+    if (!Retryable(last.code()) || attempt >= options_.max_attempts ||
+        cancelled_.load(std::memory_order_acquire)) {
+      break;
+    }
+    stats_.retries.Add();
+    if (!BackoffSleep(JitteredBackoff(backoff))) {
+      last = Status::Aborted("transfer manager cancelled");
+      break;
+    }
+    backoff = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(static_cast<double>(backoff) *
+                                   options_.backoff_multiplier),
+        options_.backoff_max_us);
+  }
+  stats_.failed_ops.Add();
+  Fail(op, last);
+}
+
+}  // namespace ginja

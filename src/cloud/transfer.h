@@ -1,0 +1,136 @@
+// TransferManager — bounded-concurrency async transfers to an ObjectStore.
+//
+// Every serial consumer of the store pays one full round-trip per call
+// against services whose latency is dominated by a per-request base —
+// exactly the request-level parallelism S3-style stores are built to
+// absorb. TransferManager owns a small worker pool that keeps up to
+// `concurrency` operations in flight and applies one shared retry policy
+// (jittered exponential backoff on transient errors) so retry behaviour
+// lives in a single place instead of per-call-site loops.
+//
+// Consumers in this repo:
+//   * Ginja::Recover keeps a window of K GETs in flight (prefetch);
+//   * CheckpointPipeline PUTs the parts of a dump/checkpoint concurrently;
+//   * garbage collection fans DELETEs out through DeleteAll().
+//
+// Every *Async call returns a std::future fulfilled by a worker thread.
+// Dropping a future is safe: the operation still runs to completion (or is
+// failed by Cancel()). Cancel() is terminal — queued operations fail with
+// ABORTED, backoff sleeps are interrupted, and later submissions fail
+// immediately; it is the crash-simulation (Kill) path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cloud/object_store.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace ginja {
+
+struct TransferOptions {
+  // Worker threads == maximum operations in flight.
+  int concurrency = 8;
+  // Total attempts per operation (first try included).
+  int max_attempts = 5;
+  // Backoff before retry r is initial * multiplier^(r-1), capped at max,
+  // scaled by a uniform jitter factor in [1 - jitter, 1 + jitter].
+  std::uint64_t backoff_initial_us = 100'000;
+  double backoff_multiplier = 2.0;
+  std::uint64_t backoff_max_us = 5'000'000;
+  double backoff_jitter = 0.2;
+  std::uint64_t seed = 0x6a09'e667'f3bc'c908ull;
+};
+
+struct TransferStats {
+  Counter gets;              // successful operations
+  Counter puts;
+  Counter deletes;
+  Counter retries;           // failed attempts that were retried
+  Counter failed_ops;        // operations that returned an error
+  Counter bytes_downloaded;
+  Counter bytes_uploaded;
+  // Model-time latency of successful operations, retries included.
+  Histogram get_latency_us;
+  Histogram put_latency_us;
+  Histogram delete_latency_us;
+  // Operations currently executing, and the high-water mark.
+  std::atomic<int> inflight{0};
+  std::atomic<int> peak_inflight{0};
+};
+
+class TransferManager {
+ public:
+  // `clock` supplies backoff sleeps and latency timestamps (model time);
+  // when null a RealClock is used.
+  TransferManager(ObjectStorePtr store, TransferOptions options,
+                  std::shared_ptr<Clock> clock = nullptr);
+  ~TransferManager();
+
+  TransferManager(const TransferManager&) = delete;
+  TransferManager& operator=(const TransferManager&) = delete;
+
+  std::future<Result<Bytes>> GetAsync(std::string name);
+  std::future<Status> PutAsync(std::string name, Bytes data);
+  std::future<Status> DeleteAsync(std::string name);
+
+  // Blocking conveniences.
+  Result<Bytes> Get(std::string name) { return GetAsync(std::move(name)).get(); }
+  Status Put(std::string name, Bytes data) {
+    return PutAsync(std::move(name), std::move(data)).get();
+  }
+  // Fans the deletes out across the pool and waits for all of them.
+  // Returns one status per name, index-aligned.
+  std::vector<Status> DeleteAll(const std::vector<std::string>& names);
+
+  // Terminal: fails queued operations with ABORTED, interrupts backoff
+  // sleeps, and makes subsequent submissions fail immediately.
+  void Cancel();
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  const TransferStats& stats() const { return stats_; }
+  const TransferOptions& options() const { return options_; }
+
+ private:
+  struct Op {
+    enum class Kind { kGet, kPut, kDelete } kind = Kind::kGet;
+    std::string name;
+    Bytes data;                               // PUT payload, owned by the op
+    std::promise<Result<Bytes>> get_result;   // fulfilled for kGet
+    std::promise<Status> status_result;       // fulfilled for kPut / kDelete
+  };
+
+  void WorkerLoop();
+  void Execute(Op& op);
+  static void Fail(Op& op, const Status& status);
+  // Sleeps `micros` of model time in small slices; false when cancelled.
+  bool BackoffSleep(std::uint64_t micros);
+  std::uint64_t JitteredBackoff(std::uint64_t base_us);
+  bool Enqueue(Op op);  // false (op already failed) when cancelled
+
+  ObjectStorePtr store_;
+  TransferOptions options_;
+  std::shared_ptr<Clock> clock_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Op> queue_;
+  bool stop_ = false;
+  std::atomic<bool> cancelled_{false};
+  SplitMix64 rng_;  // guarded by mu_
+
+  std::vector<std::thread> workers_;
+  TransferStats stats_;
+};
+
+}  // namespace ginja

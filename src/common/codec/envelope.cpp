@@ -1,6 +1,7 @@
 #include "common/codec/envelope.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 
 #include "common/codec/codec_pool.h"
@@ -266,48 +267,129 @@ Result<Bytes> Envelope::DecodeV2(std::uint8_t flags, std::uint64_t nonce,
   Bytes work(body.begin() + static_cast<std::ptrdiff_t>(pos), body.end());
   std::size_t wpos = 0;
 
-  Bytes out;
-  out.reserve(*total);
-  std::size_t chunk = 0;
-  while (out.size() < *total) {
+  if (!pool_ || pool_->threads() <= 1) {
+    Bytes out;
+    out.reserve(*total);
+    std::size_t chunk = 0;
+    while (out.size() < *total) {
+      if (wpos + 4 > work.size()) {
+        return Status::Corruption("v2 chunk token truncated");
+      }
+      const std::uint32_t token = GetU32(work.data() + wpos);
+      wpos += 4;
+      const std::size_t enc_len = token >> 1;
+      const bool compressed = (token & 1u) != 0;
+      const std::size_t expect =
+          std::min<std::size_t>(*chunk_bytes, *total - out.size());
+      if (enc_len > *chunk_bytes || wpos + enc_len > work.size()) {
+        return Status::Corruption("v2 chunk length out of range");
+      }
+
+      std::uint8_t* chunk_data = work.data() + wpos;
+      if (flags & kFlagEncrypted) {
+        stats_.bytes_encrypted.Add(enc_len);
+        enc_aes_.CtrInPlace(chunk_data, enc_len, nonce,
+                            static_cast<std::uint64_t>(chunk) * blocks_per_chunk);
+      }
+      const std::size_t before = out.size();
+      if (compressed) {
+        if (!Lzss::DecompressAppend(ByteView(chunk_data, enc_len), out)) {
+          return Status::Corruption("v2 chunk LZSS stream corrupt");
+        }
+        stats_.bytes_decompressed.Add(out.size() - before);
+      } else {
+        Append(out, ByteView(chunk_data, enc_len));
+      }
+      if (out.size() - before != expect) {
+        return Status::Corruption("v2 chunk size mismatch");
+      }
+      wpos += enc_len;
+      ++chunk;
+    }
+    if (wpos != work.size() || out.size() != *total) {
+      return Status::Corruption("v2 envelope trailing garbage");
+    }
+    return out;
+  }
+
+  // Parallel path: the token table is scanned serially (it is a few bytes
+  // per chunk and each token's position depends on the previous chunk's
+  // enc_len), then chunks decrypt/decompress concurrently, each writing its
+  // fixed [i*chunk_bytes, i*chunk_bytes+expect) slice of the output —
+  // disjoint slices, disjoint CTR counter ranges, no coordination needed.
+  struct ChunkRef {
+    std::size_t body_off = 0;
+    std::size_t enc_len = 0;
+    bool compressed = false;
+  };
+  std::vector<ChunkRef> chunks;
+  std::size_t logical = 0;
+  std::size_t enc_total = 0;
+  while (logical < *total) {
     if (wpos + 4 > work.size()) {
       return Status::Corruption("v2 chunk token truncated");
     }
     const std::uint32_t token = GetU32(work.data() + wpos);
     wpos += 4;
     const std::size_t enc_len = token >> 1;
-    const bool compressed = (token & 1u) != 0;
-    const std::size_t expect =
-        std::min<std::size_t>(*chunk_bytes, *total - out.size());
     if (enc_len > *chunk_bytes || wpos + enc_len > work.size()) {
       return Status::Corruption("v2 chunk length out of range");
     }
-
-    std::uint8_t* chunk_data = work.data() + wpos;
-    if (flags & kFlagEncrypted) {
-      stats_.bytes_encrypted.Add(enc_len);
-      enc_aes_.CtrInPlace(chunk_data, enc_len, nonce,
-                          static_cast<std::uint64_t>(chunk) * blocks_per_chunk);
-    }
-    const std::size_t before = out.size();
-    if (compressed) {
-      if (!Lzss::DecompressAppend(ByteView(chunk_data, enc_len), out)) {
-        return Status::Corruption("v2 chunk LZSS stream corrupt");
-      }
-      stats_.bytes_decompressed.Add(out.size() - before);
-    } else {
-      Append(out, ByteView(chunk_data, enc_len));
-    }
-    if (out.size() - before != expect) {
-      return Status::Corruption("v2 chunk size mismatch");
-    }
+    chunks.push_back({wpos, enc_len, (token & 1u) != 0});
     wpos += enc_len;
-    ++chunk;
+    enc_total += enc_len;
+    logical += std::min<std::size_t>(*chunk_bytes, *total - logical);
   }
-  if (wpos != work.size() || out.size() != *total) {
+  if (wpos != work.size()) {
     return Status::Corruption("v2 envelope trailing garbage");
   }
-  return out;
+  if (flags & kFlagEncrypted) stats_.bytes_encrypted.Add(enc_total);
+
+  Bytes out(*total);
+  enum : int { kOk = 0, kLzssCorrupt = 1, kSizeMismatch = 2 };
+  std::atomic<int> error{kOk};
+  std::atomic<std::uint64_t> decompressed{0};
+  pool_->ParallelFor(chunks.size(), [&](std::size_t i) {
+    if (error.load(std::memory_order_relaxed) != kOk) return;
+    const ChunkRef& c = chunks[i];
+    const std::size_t begin = i * *chunk_bytes;
+    const std::size_t expect =
+        std::min<std::size_t>(*chunk_bytes, *total - begin);
+    std::uint8_t* chunk_data = work.data() + c.body_off;
+    if (flags & kFlagEncrypted) {
+      enc_aes_.CtrInPlace(chunk_data, c.enc_len, nonce,
+                          static_cast<std::uint64_t>(i) * blocks_per_chunk);
+    }
+    if (c.compressed) {
+      Bytes plain;
+      plain.reserve(expect);
+      if (!Lzss::DecompressAppend(ByteView(chunk_data, c.enc_len), plain)) {
+        error.store(kLzssCorrupt, std::memory_order_relaxed);
+        return;
+      }
+      if (plain.size() != expect) {
+        error.store(kSizeMismatch, std::memory_order_relaxed);
+        return;
+      }
+      decompressed.fetch_add(expect, std::memory_order_relaxed);
+      std::memcpy(out.data() + begin, plain.data(), expect);
+    } else {
+      if (c.enc_len != expect) {
+        error.store(kSizeMismatch, std::memory_order_relaxed);
+        return;
+      }
+      std::memcpy(out.data() + begin, chunk_data, expect);
+    }
+  });
+  stats_.bytes_decompressed.Add(decompressed.load(std::memory_order_relaxed));
+  switch (error.load(std::memory_order_relaxed)) {
+    case kLzssCorrupt:
+      return Status::Corruption("v2 chunk LZSS stream corrupt");
+    case kSizeMismatch:
+      return Status::Corruption("v2 chunk size mismatch");
+    default:
+      return out;
+  }
 }
 
 }  // namespace ginja

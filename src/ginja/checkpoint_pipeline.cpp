@@ -1,7 +1,10 @@
 #include "ginja/checkpoint_pipeline.h"
 
 #include <algorithm>
+#include <deque>
+#include <future>
 #include <map>
+#include <utility>
 
 namespace ginja {
 
@@ -17,7 +20,10 @@ CheckpointPipeline::CheckpointPipeline(ObjectStorePtr store,
       config_(config),
       envelope_(std::move(envelope)),
       local_vfs_(std::move(local_vfs)),
-      layout_(layout) {}
+      layout_(layout),
+      transfer_(std::make_unique<TransferManager>(
+          store_, MakeTransferOptions(config_, config_.transfer_concurrency),
+          clock_)) {}
 
 CheckpointPipeline::~CheckpointPipeline() { Kill(); }
 
@@ -38,6 +44,9 @@ void CheckpointPipeline::Kill() {
   }
   idle_cv_.notify_all();
   frontier_cv_.notify_all();
+  // Abort queued/retrying transfers so the checkpointer's future waits
+  // resolve and the thread can observe killed_.
+  transfer_->Cancel();
   queue_.Close();
   if (thread_.joinable()) thread_.join();
 }
@@ -156,28 +165,6 @@ void CheckpointPipeline::Drain() {
   idle_cv_.wait(lock, [&] { return killed_ || inflight_jobs_ == 0; });
 }
 
-Status CheckpointPipeline::UploadWithRetry(const std::string& name,
-                                           const PayloadView& payload,
-                                           std::uint64_t nonce) {
-  Bytes enveloped;
-  envelope_->EncodeInto(payload, nonce, enveloped);
-  Status st = Status::Unavailable("not attempted");
-  for (int attempt = 0; attempt < config_.max_retries; ++attempt) {
-    st = store_->Put(name, View(enveloped));
-    if (st.ok()) {
-      stats_.db_objects_uploaded.Add();
-      stats_.bytes_uploaded.Add(enveloped.size());
-      return st;
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (killed_) return st;
-    }
-    clock_->SleepMicros(config_.retry_backoff_us);
-  }
-  return st;
-}
-
 void CheckpointPipeline::CheckpointerLoop() {
   while (auto job = queue_.Take()) {
     // Mark the job done (and wake Drain) no matter how processing exits.
@@ -254,7 +241,28 @@ void CheckpointPipeline::CheckpointerLoop() {
     bool all_uploaded = true;
     std::vector<DbObjectId> ids;
     Bytes framing;  // reused per part; EncodeEntriesView keeps its capacity
-    for (std::uint32_t part = 0; part < parts.size(); ++part) {
+
+    // Parts upload concurrently through the TransferManager: envelope
+    // encoding stays on this thread (the enveloped buffer is moved into
+    // the op, so `framing` can be reused immediately), while up to
+    // `transfer_concurrency` PUTs are in flight. The object is acked into
+    // the view only when *every* part has landed — a partial upload is
+    // invisible to recovery (total_parts mismatch) and harmless.
+    std::deque<std::pair<std::future<Status>, std::size_t>> inflight;
+    const std::size_t window =
+        static_cast<std::size_t>(std::max(1, config_.transfer_concurrency));
+    auto reap_one = [&] {
+      auto [status_future, size] = std::move(inflight.front());
+      inflight.pop_front();
+      if (status_future.get().ok()) {
+        stats_.db_objects_uploaded.Add();
+        stats_.bytes_uploaded.Add(size);
+      } else {
+        all_uploaded = false;
+      }
+    };
+    for (std::uint32_t part = 0; part < parts.size() && all_uploaded;
+         ++part) {
       const PayloadView payload = EncodeEntriesView(parts[part], framing);
       DbObjectId id;
       id.ts = job->ts;
@@ -264,16 +272,19 @@ void CheckpointPipeline::CheckpointerLoop() {
       id.redo_lsn = job->redo_lsn;
       id.part = part;
       id.total_parts = static_cast<std::uint32_t>(parts.size());
-      const std::string name = id.Encode();
       // Nonce: unique per DB object part (seq/part disjoint from WAL ts
       // space by the high bit).
       const std::uint64_t nonce = (1ull << 63) | (seq << 16) | part;
-      if (!UploadWithRetry(name, payload, nonce).ok()) {
-        all_uploaded = false;
-        break;
-      }
+      Bytes enveloped;
+      envelope_->EncodeInto(payload, nonce, enveloped);
+      const std::size_t enveloped_size = enveloped.size();
+      while (inflight.size() >= window && all_uploaded) reap_one();
+      if (!all_uploaded) break;
+      inflight.emplace_back(transfer_->PutAsync(id.Encode(), std::move(enveloped)),
+                            enveloped_size);
       ids.push_back(id);
     }
+    while (!inflight.empty()) reap_one();
     if (!all_uploaded) continue;  // leave old state; retry naturally later
 
     for (const auto& id : ids) view_->AddDb(id);
@@ -298,22 +309,40 @@ void CheckpointPipeline::GarbageCollect(const DbObjectJob& job,
 
   // WAL objects fully below the checkpoint's redo point are unreachable by
   // any future (non-PITR) recovery (Alg. 3 lines 23–25, LSN-safe variant).
+  // A dump also supersedes every older DB object (Alg. 3 lines 26–29).
+  // All victims are collected first and the DELETEs fanned out through the
+  // TransferManager in one wave; the view drops only the objects whose
+  // DELETE succeeded, so a failed delete is retried by the next GC pass.
+  std::vector<WalObjectId> wal_victims;
+  std::vector<DbObjectId> db_victims;
+  std::vector<std::string> names;
   for (const auto& wal : view_->WalObjectsCoveredBy(job.redo_lsn)) {
     if (keep.count(wal.Encode()) > 0) continue;
-    if (store_->Delete(wal.Encode()).ok()) {
-      view_->RemoveWal(wal.ts);
-      stats_.wal_objects_deleted.Add();
-    }
+    wal_victims.push_back(wal);
+    names.push_back(wal.Encode());
   }
-  // A dump supersedes every older DB object (Alg. 3 lines 26–29).
   if (job.type == DbObjectType::kDump) {
     for (const auto& db : view_->DbObjects()) {
       if (db.seq >= uploaded_seq) continue;
       if (keep.count(db.Encode()) > 0) continue;
-      if (store_->Delete(db.Encode()).ok()) {
-        view_->RemoveDb(db);
-        stats_.db_objects_deleted.Add();
-      }
+      db_victims.push_back(db);
+      names.push_back(db.Encode());
+    }
+  }
+  if (names.empty()) return;
+
+  const std::vector<Status> statuses = transfer_->DeleteAll(names);
+  std::size_t i = 0;
+  for (const auto& wal : wal_victims) {
+    if (statuses[i++].ok()) {
+      view_->RemoveWal(wal.ts);
+      stats_.wal_objects_deleted.Add();
+    }
+  }
+  for (const auto& db : db_victims) {
+    if (statuses[i++].ok()) {
+      view_->RemoveDb(db);
+      stats_.db_objects_deleted.Add();
     }
   }
 }

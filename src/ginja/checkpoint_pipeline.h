@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "cloud/object_store.h"
+#include "cloud/transfer.h"
 #include "common/blocking_queue.h"
 #include "common/clock.h"
 #include "common/codec/envelope.h"
@@ -108,8 +109,6 @@ class CheckpointPipeline {
 
   void CheckpointerLoop();
   std::vector<FileEntry> BuildDumpEntries() const;
-  Status UploadWithRetry(const std::string& name, const PayloadView& payload,
-                         std::uint64_t nonce);
   void GarbageCollect(const DbObjectJob& job, std::uint64_t uploaded_seq);
 
   ObjectStorePtr store_;
@@ -119,6 +118,9 @@ class CheckpointPipeline {
   std::shared_ptr<Envelope> envelope_;
   VfsPtr local_vfs_;
   DbLayout layout_;
+  // Concurrent part PUTs and GC DELETE fan-out; shared retry policy
+  // (jittered exponential backoff) instead of the old fixed-delay loop.
+  std::unique_ptr<TransferManager> transfer_;
   std::shared_ptr<RetentionPolicy> retention_;
   std::function<Lsn()> wal_frontier_fn_;
 

@@ -1,9 +1,11 @@
 // Ginja configuration — the paper's control knobs (§5.1, §5.4, §6).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 
+#include "cloud/transfer.h"
 #include "common/codec/envelope.h"
 
 namespace ginja {
@@ -27,9 +29,23 @@ struct GinjaConfig {
   int uploader_threads = 5;
   // Objects are split at this size to optimise upload latency (§5.2 fn. 3).
   std::size_t max_object_bytes = 20 * 1024 * 1024;
-  // Retry backoff (model time) for failed cloud operations.
+  // Retry policy (model time) for failed cloud operations: jittered
+  // exponential backoff starting at retry_backoff_us, multiplied per
+  // attempt up to retry_backoff_max_us. The commit pipeline's uploaders
+  // keep the paper's fixed-delay retry (its S-blocking depends on it);
+  // every TransferManager consumer shares the exponential policy.
   std::uint64_t retry_backoff_us = 200'000;
   int max_retries = 100;
+  double retry_backoff_multiplier = 2.0;
+  std::uint64_t retry_backoff_max_us = 5'000'000;
+  double retry_jitter = 0.2;
+
+  // -- cloud transfer concurrency ---------------------------------------------
+  // K: GETs kept in flight by the windowed recovery prefetcher (Alg. 1).
+  // 1 reproduces the paper's serial download loop exactly.
+  int recovery_prefetch = 8;
+  // In-flight cap for checkpoint/dump part PUTs and GC DELETE fan-out.
+  int transfer_concurrency = 8;
 
   // -- checkpoints ---------------------------------------------------------------
   // A dump replaces incremental checkpoints when cloud DB objects reach
@@ -55,5 +71,19 @@ struct GinjaConfig {
     return c;
   }
 };
+
+// Maps the config's retry knobs onto a TransferManager's options with the
+// given in-flight cap, so recovery, checkpoints, and GC share one policy.
+inline TransferOptions MakeTransferOptions(const GinjaConfig& config,
+                                           int concurrency) {
+  TransferOptions o;
+  o.concurrency = std::max(1, concurrency);
+  o.max_attempts = std::max(1, config.max_retries);
+  o.backoff_initial_us = config.retry_backoff_us;
+  o.backoff_multiplier = config.retry_backoff_multiplier;
+  o.backoff_max_us = config.retry_backoff_max_us;
+  o.backoff_jitter = config.retry_jitter;
+  return o;
+}
 
 }  // namespace ginja

@@ -4,9 +4,6 @@ namespace ginja {
 
 namespace {
 
-// Meta objects use a nonce space disjoint from WAL ts and DB seq nonces.
-constexpr std::uint64_t kMetaNonceBase = 0xF0F0'0000'0000'0000ull;
-
 Bytes EncodeU64Pair(std::uint64_t a, std::uint64_t b) {
   Bytes out;
   PutU64(out, a);
@@ -35,7 +32,7 @@ Result<std::uint64_t> Promote(ObjectStore& store, const Envelope& envelope) {
   Bytes payload;
   PutU64(payload, next);
   const Bytes enveloped =
-      envelope.Encode(View(payload), kMetaNonceBase ^ next);
+      envelope.Encode(View(payload), MetaEpochNonce(next));
   GINJA_RETURN_IF_ERROR(store.Put(kEpochObject, View(enveloped)));
   return next;
 }
@@ -74,7 +71,7 @@ bool HeartbeatWriter::BeatOnce() {
   }
   const Bytes payload = EncodeU64Pair(epoch_, ++sequence_);
   const Bytes enveloped =
-      envelope_.Encode(View(payload), kMetaNonceBase | sequence_);
+      envelope_.Encode(View(payload), MetaHeartbeatNonce(sequence_));
   if (store_->Put(kHeartbeatObject, View(enveloped)).ok()) {
     beats_.Add();
   }

@@ -41,6 +41,23 @@ struct FailoverConfig {
 inline constexpr const char* kHeartbeatObject = "meta/heartbeat";
 inline constexpr const char* kEpochObject = "meta/epoch";
 
+// Meta objects use the 0xF0F0 nonce prefix — disjoint from WAL-ts nonces
+// (small integers) and DB-part nonces (high bit set). Within that prefix,
+// each meta object gets its own 40-bit counter subspace selected by a tag
+// in bits 40–47. Both must never collide: AES-CTR reuses the keystream for
+// equal nonces, so epoch object N and heartbeat sequence N sharing a nonce
+// would leak the XOR of their plaintexts to anyone reading the bucket.
+inline constexpr std::uint64_t kMetaNonceBase = 0xF0F0'0000'0000'0000ull;
+inline constexpr std::uint64_t kMetaNonceValueMask = (1ull << 40) - 1;
+
+inline constexpr std::uint64_t MetaEpochNonce(std::uint64_t epoch) {
+  return kMetaNonceBase | (1ull << 40) | (epoch & kMetaNonceValueMask);
+}
+
+inline constexpr std::uint64_t MetaHeartbeatNonce(std::uint64_t sequence) {
+  return kMetaNonceBase | (2ull << 40) | (sequence & kMetaNonceValueMask);
+}
+
 // Reads the fencing epoch (0 when the object does not exist yet).
 Result<std::uint64_t> ReadEpoch(ObjectStore& store, const Envelope& envelope);
 

@@ -1,6 +1,8 @@
 #include "ginja/ginja.h"
 
 #include <algorithm>
+#include <deque>
+#include <future>
 #include <map>
 
 #include "common/codec/codec_pool.h"
@@ -158,6 +160,11 @@ Status Ginja::Recover(ObjectStorePtr store, const GinjaConfig& config,
   const std::uint64_t started_at = clock ? clock->NowMicros() : 0;
 
   Envelope envelope(config.envelope);
+  std::shared_ptr<CodecPool> codec_pool;
+  if (config.codec_threads > 1) {
+    codec_pool = std::make_shared<CodecPool>(config.codec_threads);
+    envelope.SetCodecPool(codec_pool);
+  }
 
   auto objects = store->List("");
   if (!objects.ok()) return objects.status();
@@ -176,10 +183,80 @@ Status Ginja::Recover(ObjectStorePtr store, const GinjaConfig& config,
   std::sort(wal_objects.begin(), wal_objects.end(),
             [](const WalObjectId& a, const WalObjectId& b) { return a.ts < b.ts; });
 
-  auto fetch_and_apply = [&](const std::string& name,
-                             std::uint64_t nonce_hint) -> Status {
-    (void)nonce_hint;
-    auto blob = store->Get(name);
+  // The whole download schedule is computable before the first GET: DB
+  // object names carry their redo LSN and part counts, WAL names their ts
+  // and covered range. That is what makes windowed prefetch safe — the
+  // plan below is exactly the serial loop's visit order, so a K-deep
+  // window changes *when* bytes arrive but never *what* is applied.
+  struct FetchPlanItem {
+    std::string name;
+    bool is_wal = false;
+    std::uint64_t wal_ts = 0;
+  };
+  std::vector<FetchPlanItem> plan;
+
+  // 1. Most recent *complete* dump (all parts present) — Alg. 1 lines 27–29.
+  Lsn last_redo_lsn = 0;
+  std::optional<std::uint64_t> dump_seq;
+  for (const auto& [seq, parts] : db_by_seq) {
+    if (parts.empty() || parts[0].type != DbObjectType::kDump) continue;
+    if (parts.size() == parts[0].total_parts) dump_seq = seq;
+  }
+  auto plan_parts = [&](std::vector<DbObjectId> parts) {
+    std::sort(parts.begin(), parts.end(),
+              [](const DbObjectId& a, const DbObjectId& b) { return a.part < b.part; });
+    for (const auto& id : parts) {
+      plan.push_back({id.Encode(), /*is_wal=*/false, 0});
+      last_redo_lsn = std::max(last_redo_lsn, id.redo_lsn);
+    }
+  };
+  if (dump_seq) {
+    r.found_dump = true;
+    plan_parts(db_by_seq[*dump_seq]);
+  }
+
+  // 2. Incremental checkpoints newer than the dump, ascending — lines 30–36.
+  for (const auto& [seq, parts] : db_by_seq) {
+    if (dump_seq && seq <= *dump_seq) continue;
+    if (parts.empty() || parts[0].type != DbObjectType::kCheckpoint) continue;
+    if (parts.size() != parts[0].total_parts) continue;  // incomplete upload
+    plan_parts(parts);
+  }
+
+  // 3. WAL objects the redo still needs (covered range past the planned
+  // checkpoints' redo LSN — the LSN-safe form of the paper's
+  // newerThan(maxCkptTs)), in ts order, truncated at the first gap: the
+  // consecutive-timestamp rule that bounds loss to S (lines 37–40). The
+  // gap position depends only on the name-derived ts sequence, so the
+  // prefetcher never fetches past it.
+  bool gap_after_plan = false;
+  {
+    std::optional<std::uint64_t> previous_ts;
+    for (const auto& id : wal_objects) {
+      if (id.max_lsn <= last_redo_lsn) continue;  // already in the pages
+      if (previous_ts && id.ts != *previous_ts + 1) {
+        gap_after_plan = true;
+        break;
+      }
+      plan.push_back({id.Encode(), /*is_wal=*/true, id.ts});
+      previous_ts = id.ts;
+    }
+  }
+
+  // Windowed fetch/apply: a TransferManager keeps up to K GETs in flight;
+  // decode/decompress runs on this thread (fanning chunks across the codec
+  // pool) overlapped with the in-flight downloads; applies stay strictly
+  // in plan order. Counters advance only as objects are *consumed*, so the
+  // report is identical for every K — prefetched-but-unapplied blobs past
+  // a corrupt object are discarded uncounted, exactly as if never fetched.
+  TransferManager transfers(
+      store, MakeTransferOptions(config, config.recovery_prefetch), clock);
+  const std::size_t window =
+      static_cast<std::size_t>(std::max(1, config.recovery_prefetch));
+  std::deque<std::future<Result<Bytes>>> inflight;
+  std::size_t next_issue = 0;
+
+  auto apply_blob = [&](Result<Bytes> blob) -> Status {
     if (!blob.ok()) return blob.status();
     ++r.objects_downloaded;
     r.bytes_downloaded += blob->size();
@@ -195,62 +272,31 @@ Status Ginja::Recover(ObjectStorePtr store, const GinjaConfig& config,
     return Status::Ok();
   };
 
-  // 1. Most recent *complete* dump (all parts present) — Alg. 1 lines 27–29.
-  Lsn last_redo_lsn = 0;
-  std::optional<std::uint64_t> dump_seq;
-  for (const auto& [seq, parts] : db_by_seq) {
-    if (parts.empty() || parts[0].type != DbObjectType::kDump) continue;
-    if (parts.size() == parts[0].total_parts) dump_seq = seq;
-  }
-  if (dump_seq) {
-    r.found_dump = true;
-    auto parts = db_by_seq[*dump_seq];
-    std::sort(parts.begin(), parts.end(),
-              [](const DbObjectId& a, const DbObjectId& b) { return a.part < b.part; });
-    for (const auto& id : parts) {
-      GINJA_RETURN_IF_ERROR(fetch_and_apply(id.Encode(), id.seq));
+  bool wal_tail_truncated = false;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    while (next_issue < plan.size() && inflight.size() < window) {
+      inflight.push_back(transfers.GetAsync(plan[next_issue++].name));
+    }
+    auto blob = std::move(inflight.front());
+    inflight.pop_front();
+    Status st = apply_blob(blob.get());
+    if (!plan[i].is_wal) {
+      // A failed dump/checkpoint part fails the whole recovery (the DB
+      // page state would be incomplete) — as in the serial path.
+      GINJA_RETURN_IF_ERROR(st);
       ++r.db_objects_applied;
-      last_redo_lsn = std::max(last_redo_lsn, id.redo_lsn);
-    }
-  }
-
-  // 2. Incremental checkpoints newer than the dump, ascending — lines 30–36.
-  for (const auto& [seq, parts_const] : db_by_seq) {
-    if (dump_seq && seq <= *dump_seq) continue;
-    auto parts = parts_const;
-    if (parts.empty() || parts[0].type != DbObjectType::kCheckpoint) continue;
-    if (parts.size() != parts[0].total_parts) continue;  // incomplete upload
-    std::sort(parts.begin(), parts.end(),
-              [](const DbObjectId& a, const DbObjectId& b) { return a.part < b.part; });
-    for (const auto& id : parts) {
-      GINJA_RETURN_IF_ERROR(fetch_and_apply(id.Encode(), id.seq));
-      ++r.db_objects_applied;
-      last_redo_lsn = std::max(last_redo_lsn, id.redo_lsn);
-    }
-  }
-
-  // 3. WAL objects the redo still needs (covered range past the applied
-  // checkpoints' redo LSN — the LSN-safe form of the paper's
-  // newerThan(maxCkptTs)), in ts order, stopping at the first gap: the
-  // consecutive-timestamp rule that bounds loss to S (lines 37–40).
-  std::optional<std::uint64_t> previous_ts;
-  for (const auto& id : wal_objects) {
-    if (id.max_lsn <= last_redo_lsn) continue;  // already in the pages
-    if (previous_ts && id.ts != *previous_ts + 1) {
-      r.gap_detected = true;
-      break;
-    }
-    Status st = fetch_and_apply(id.Encode(), id.ts);
-    if (!st.ok()) {
+    } else if (!st.ok()) {
       // A corrupt/missing WAL object truncates the recoverable tail, the
       // same as a gap; everything before it is still consistent.
       r.gap_detected = true;
+      wal_tail_truncated = true;
       break;
+    } else {
+      ++r.wal_objects_applied;
+      r.recovered_to_ts = plan[i].wal_ts;
     }
-    ++r.wal_objects_applied;
-    r.recovered_to_ts = id.ts;
-    previous_ts = id.ts;
   }
+  if (gap_after_plan && !wal_tail_truncated) r.gap_detected = true;
 
   if (clock) r.duration_micros = clock->NowMicros() - started_at;
   return Status::Ok();

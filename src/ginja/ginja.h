@@ -23,6 +23,7 @@
 // config kept history (point-in-time recovery, §5.4).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -123,8 +124,10 @@ class Ginja : public FileEventListener {
   std::unique_ptr<CommitPipeline> commits_;
   std::unique_ptr<CheckpointPipeline> checkpoints_;
   std::unique_ptr<DbIoProcessor> processor_;
-  bool started_ = false;
-  bool stopped_ = false;
+  // Atomic: OnFileEvent reads these from DBMS threads while Stop/Kill
+  // write them from the control thread.
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
 };
 
 }  // namespace ginja

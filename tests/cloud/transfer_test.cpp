@@ -1,0 +1,219 @@
+// TransferManager: bounded concurrency, retry/backoff on injected faults,
+// fan-out deletes, and cancellation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "cloud/faulty_store.h"
+#include "cloud/memory_store.h"
+#include "cloud/transfer.h"
+
+namespace ginja {
+namespace {
+
+Bytes B(const char* s) { return ToBytes(s); }
+
+TransferOptions FastOptions(int concurrency = 4) {
+  TransferOptions o;
+  o.concurrency = concurrency;
+  o.max_attempts = 10;
+  o.backoff_initial_us = 200;  // real microseconds: tests use RealClock
+  o.backoff_max_us = 2'000;
+  return o;
+}
+
+// Forwards to an inner store while recording how many Gets overlap.
+class TrackingStore : public ObjectStore {
+ public:
+  explicit TrackingStore(ObjectStorePtr inner) : inner_(std::move(inner)) {}
+
+  Result<Bytes> Get(std::string_view name) override {
+    const int now = concurrent_.fetch_add(1) + 1;
+    int peak = peak_.load();
+    while (peak < now && !peak_.compare_exchange_weak(peak, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    auto result = inner_->Get(name);
+    concurrent_.fetch_sub(1);
+    return result;
+  }
+  Status Put(std::string_view name, ByteView data) override {
+    return inner_->Put(name, data);
+  }
+  Status Delete(std::string_view name) override { return inner_->Delete(name); }
+  Result<std::vector<ObjectMeta>> List(std::string_view prefix) override {
+    return inner_->List(prefix);
+  }
+
+  int peak() const { return peak_.load(); }
+
+ private:
+  ObjectStorePtr inner_;
+  std::atomic<int> concurrent_{0};
+  std::atomic<int> peak_{0};
+};
+
+TEST(TransferManagerTest, PutGetDeleteRoundtrip) {
+  auto store = std::make_shared<MemoryStore>();
+  TransferManager manager(store, FastOptions());
+
+  ASSERT_TRUE(manager.Put("a", B("alpha")).ok());
+  auto got = manager.Get("a");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, B("alpha"));
+
+  ASSERT_TRUE(manager.DeleteAsync("a").get().ok());
+  EXPECT_FALSE(store->Get("a").ok());
+
+  EXPECT_EQ(manager.stats().gets.Get(), 1u);
+  EXPECT_EQ(manager.stats().puts.Get(), 1u);
+  EXPECT_EQ(manager.stats().deletes.Get(), 1u);
+  EXPECT_EQ(manager.stats().bytes_uploaded.Get(), 5u);
+  EXPECT_EQ(manager.stats().bytes_downloaded.Get(), 5u);
+  EXPECT_EQ(manager.stats().failed_ops.Get(), 0u);
+}
+
+TEST(TransferManagerTest, RetriesInjectedTransientFailures) {
+  auto memory = std::make_shared<MemoryStore>();
+  ASSERT_TRUE(memory->Put("k", View(B("v"))).ok());
+  auto faulty = std::make_shared<FaultyStore>(memory);
+  TransferManager manager(faulty, FastOptions());
+
+  faulty->FailNextOps(3);
+  auto got = manager.Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, B("v"));
+  EXPECT_EQ(faulty->injected_failures(), 3u);
+  EXPECT_EQ(manager.stats().retries.Get(), 3u);
+  EXPECT_EQ(manager.stats().failed_ops.Get(), 0u);
+}
+
+TEST(TransferManagerTest, ExhaustedRetriesReturnLastError) {
+  auto faulty =
+      std::make_shared<FaultyStore>(std::make_shared<MemoryStore>());
+  TransferOptions options = FastOptions();
+  options.max_attempts = 3;
+  TransferManager manager(faulty, options);
+
+  faulty->SetAvailable(false);
+  Status st = manager.Put("k", B("v"));
+  EXPECT_EQ(st.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(manager.stats().retries.Get(), 2u);  // attempts - 1
+  EXPECT_EQ(manager.stats().failed_ops.Get(), 1u);
+  EXPECT_EQ(manager.stats().puts.Get(), 0u);
+}
+
+TEST(TransferManagerTest, NotFoundIsAnAnswerNotRetried) {
+  auto store = std::make_shared<MemoryStore>();
+  TransferManager manager(store, FastOptions());
+
+  auto got = manager.Get("missing");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(manager.stats().retries.Get(), 0u);
+  EXPECT_EQ(manager.stats().failed_ops.Get(), 1u);
+}
+
+TEST(TransferManagerTest, BackoffGrowsExponentially) {
+  auto memory = std::make_shared<MemoryStore>();
+  ASSERT_TRUE(memory->Put("k", View(B("v"))).ok());
+  auto faulty = std::make_shared<FaultyStore>(memory);
+  TransferOptions options = FastOptions();
+  options.backoff_initial_us = 10'000;
+  options.backoff_max_us = 1'000'000;
+  options.backoff_jitter = 0.0;
+  TransferManager manager(faulty, options);
+
+  faulty->FailNextOps(3);  // sleeps: 10ms + 20ms + 40ms = 70ms
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(manager.Get("k").ok());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 60);
+}
+
+TEST(TransferManagerTest, ConcurrencyIsBounded) {
+  auto memory = std::make_shared<MemoryStore>();
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(memory->Put("obj" + std::to_string(i), View(B("x"))).ok());
+  }
+  auto tracking = std::make_shared<TrackingStore>(memory);
+  TransferManager manager(tracking, FastOptions(/*concurrency=*/4));
+
+  std::vector<std::future<Result<Bytes>>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(manager.GetAsync("obj" + std::to_string(i)));
+  }
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+
+  EXPECT_LE(tracking->peak(), 4);
+  EXPECT_GE(tracking->peak(), 2);  // the window genuinely overlapped
+  EXPECT_LE(manager.stats().peak_inflight.load(), 4);
+  EXPECT_EQ(manager.stats().gets.Get(), 16u);
+}
+
+TEST(TransferManagerTest, DeleteAllReportsPerName) {
+  auto store = std::make_shared<MemoryStore>();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(store->Put("gc" + std::to_string(i), View(B("x"))).ok());
+  }
+  TransferManager manager(store, FastOptions());
+
+  std::vector<std::string> names;
+  for (int i = 0; i < 8; ++i) names.push_back("gc" + std::to_string(i));
+  auto statuses = manager.DeleteAll(names);
+  ASSERT_EQ(statuses.size(), names.size());
+  for (const auto& st : statuses) EXPECT_TRUE(st.ok());
+  for (const auto& name : names) EXPECT_FALSE(store->Get(name).ok());
+  EXPECT_EQ(manager.stats().deletes.Get(), 8u);
+}
+
+TEST(TransferManagerTest, CancelAbortsQueuedAndFutureOps) {
+  auto memory = std::make_shared<MemoryStore>();
+  ASSERT_TRUE(memory->Put("k", View(B("v"))).ok());
+  auto tracking = std::make_shared<TrackingStore>(memory);
+  TransferManager manager(tracking, FastOptions(/*concurrency=*/1));
+
+  std::vector<std::future<Result<Bytes>>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(manager.GetAsync("k"));
+  manager.Cancel();
+  EXPECT_TRUE(manager.cancelled());
+
+  int aborted = 0;
+  for (auto& f : futures) {
+    auto result = f.get();  // must not hang
+    if (!result.ok() && result.status().code() == ErrorCode::kAborted) {
+      ++aborted;
+    }
+  }
+  EXPECT_GE(aborted, 2);  // at most the in-flight ops could still land
+
+  auto late = manager.GetAsync("k").get();
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), ErrorCode::kAborted);
+}
+
+TEST(TransferManagerTest, CancelInterruptsBackoffSleep) {
+  auto faulty =
+      std::make_shared<FaultyStore>(std::make_shared<MemoryStore>());
+  TransferOptions options = FastOptions(1);
+  options.backoff_initial_us = 60'000'000;  // would sleep a minute
+  options.max_attempts = 5;
+  TransferManager manager(faulty, options);
+
+  faulty->SetAvailable(false);
+  auto future = manager.PutAsync("k", B("v"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto start = std::chrono::steady_clock::now();
+  manager.Cancel();
+  Status st = future.get();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_FALSE(st.ok());
+  EXPECT_LT(elapsed.count(), 10'000);  // not the full backoff
+}
+
+}  // namespace
+}  // namespace ginja

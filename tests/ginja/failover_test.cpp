@@ -20,6 +20,62 @@ FailoverConfig FastFailover() {
   return config;
 }
 
+// Regression: the epoch object used `base ^ epoch` and the heartbeat
+// `base | sequence`, so epoch N and heartbeat sequence N encrypted under
+// the *same* AES-CTR nonce — reusing the keystream across two different
+// plaintexts. The subspace tag in bits 40–47 makes collision impossible.
+TEST(Failover, MetaNonceSubspacesAreDisjoint) {
+  static_assert(MetaEpochNonce(1) != MetaHeartbeatNonce(1));
+  static_assert((MetaEpochNonce(0) & kMetaNonceBase) == kMetaNonceBase);
+  static_assert((MetaHeartbeatNonce(0) & kMetaNonceBase) == kMetaNonceBase);
+  for (std::uint64_t value = 0; value < 4096; ++value) {
+    // Tags differ, so no epoch nonce can equal any heartbeat nonce.
+    EXPECT_EQ((MetaEpochNonce(value) >> 40) & 0xFF, 1u);
+    EXPECT_EQ((MetaHeartbeatNonce(value) >> 40) & 0xFF, 2u);
+    // And within a subspace the mapping is injective over the 40-bit range.
+    EXPECT_NE(MetaEpochNonce(value), MetaEpochNonce(value + 1));
+    EXPECT_NE(MetaHeartbeatNonce(value), MetaHeartbeatNonce(value + 1));
+  }
+}
+
+TEST(Failover, StoredMetaObjectsNeverShareANonce) {
+  // With encryption on, the envelope header records the nonce at byte 5;
+  // the epoch and heartbeat objects in the bucket must never agree on it.
+  auto store = std::make_shared<MemoryStore>();
+  auto clock = std::make_shared<RealClock>();
+  GinjaConfig ginja_config;
+  ginja_config.envelope.encrypt = true;
+  ginja_config.envelope.password = "hunter2";
+  Envelope envelope(ginja_config.envelope);
+
+  ASSERT_TRUE(Promote(*store, envelope).ok());  // epoch 1
+  HeartbeatWriter writer(store, clock, ginja_config, FastFailover(), 1);
+  writer.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  writer.Stop();
+  ASSERT_GE(writer.beats_sent(), 1u);  // sequence passed 1 == epoch value
+
+  auto read_nonce = [&](const char* name) {
+    auto blob = store->Get(name);
+    EXPECT_TRUE(blob.ok());
+    std::uint64_t nonce = 0;
+    for (int b = 0; b < 8; ++b) {
+      nonce |= static_cast<std::uint64_t>((*blob)[5 + b]) << (8 * b);
+    }
+    return nonce;
+  };
+  const std::uint64_t epoch_nonce = read_nonce(kEpochObject);
+  const std::uint64_t heartbeat_nonce = read_nonce(kHeartbeatObject);
+  EXPECT_NE(epoch_nonce, heartbeat_nonce);
+  EXPECT_EQ(epoch_nonce, MetaEpochNonce(1));
+  EXPECT_NE((epoch_nonce >> 40) & 0xFF, (heartbeat_nonce >> 40) & 0xFF);
+
+  // Both decode fine under the new nonces.
+  EXPECT_EQ(*ReadEpoch(*store, envelope), 1u);
+  FailureDetector detector(store, clock, ginja_config, FastFailover());
+  ASSERT_TRUE(detector.ReadBeat().has_value());
+}
+
 TEST(Failover, EpochStartsAtZeroAndPromoteIncrements) {
   MemoryStore store;
   Envelope envelope(EnvelopeOptions{});
