@@ -7,6 +7,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/codec/aes128.h"
@@ -17,6 +20,7 @@
 #include "common/rng.h"
 #include "db/wal.h"
 #include "fs/mem_fs.h"
+#include "ginja/coalesce.h"
 
 namespace ginja {
 namespace {
@@ -189,6 +193,72 @@ void BM_WalAppend(benchmark::State& state) {
   state.SetLabel(layout.Name());
 }
 BENCHMARK(BM_WalAppend)->Arg(0)->Arg(1);
+
+// Batch coalescing (Alg. 2 lines 12-13): the reusable open-addressed
+// CoalesceTable vs the std::map it replaced. range(0) = writes per batch,
+// range(1) = distinct (file, offset) pages those writes rewrite.
+struct CoalesceInput {
+  std::vector<std::string> files;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> writes;  // file, offset
+};
+
+CoalesceInput MakeCoalesceInput(std::size_t batch, std::size_t pages) {
+  CoalesceInput input;
+  for (int f = 0; f < 3; ++f) {
+    input.files.push_back("pg_xlog/0000000100000000000000" +
+                          std::to_string(10 + f));
+  }
+  SplitMix64 rng(42);
+  input.writes.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const std::uint64_t page = rng.NextBelow(pages);
+    input.writes.emplace_back(
+        static_cast<std::uint32_t>(page % input.files.size()), page * 8192);
+  }
+  return input;
+}
+
+void BM_CoalesceBatchTable(benchmark::State& state) {
+  const auto input =
+      MakeCoalesceInput(static_cast<std::size_t>(state.range(0)),
+                        static_cast<std::size_t>(state.range(1)));
+  CoalesceTable table;
+  for (auto _ : state) {
+    table.Begin(input.writes.size());
+    std::uint32_t i = 0;
+    for (const auto& [file, offset] : input.writes) {
+      table.Upsert(input.files[file], offset, i++);
+    }
+    benchmark::DoNotOptimize(table.Size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CoalesceBatchTable)
+    ->Args({1000, 32})
+    ->Args({1000, 1024})
+    ->Args({100, 16});
+
+void BM_CoalesceBatchMap(benchmark::State& state) {
+  const auto input =
+      MakeCoalesceInput(static_cast<std::size_t>(state.range(0)),
+                        static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    std::map<std::pair<std::string_view, std::uint64_t>, std::uint32_t>
+        coalesced;
+    std::uint32_t i = 0;
+    for (const auto& [file, offset] : input.writes) {
+      coalesced[{input.files[file], offset}] = i++;
+    }
+    benchmark::DoNotOptimize(coalesced.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CoalesceBatchMap)
+    ->Args({1000, 32})
+    ->Args({1000, 1024})
+    ->Args({100, 16});
 
 }  // namespace
 }  // namespace ginja

@@ -6,23 +6,32 @@ namespace ginja {
 
 namespace {
 
-// Transient errors worth retrying; NOT_FOUND and CORRUPTION are answers,
-// not failures, and retrying them would only hide real damage.
-bool Retryable(ErrorCode code) {
-  return code == ErrorCode::kUnavailable || code == ErrorCode::kIoError;
-}
-
 // Slice length for cancellable backoff sleeps (model time).
 constexpr std::uint64_t kSleepSliceUs = 20'000;
 
 }  // namespace
+
+std::uint64_t RetryPolicy::NextBackoffUs(int attempt) {
+  if (retries_) retries_->Add();
+  double backoff = static_cast<double>(options_.backoff_initial_us);
+  for (int i = 1; i < attempt; ++i) {
+    backoff *= options_.backoff_multiplier;
+    if (backoff >= static_cast<double>(options_.backoff_max_us)) break;
+  }
+  backoff = std::min(backoff, static_cast<double>(options_.backoff_max_us));
+  if (options_.backoff_jitter > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    backoff *= 1.0 + options_.backoff_jitter * (2.0 * rng_.NextDouble() - 1.0);
+  }
+  return static_cast<std::uint64_t>(backoff);
+}
 
 TransferManager::TransferManager(ObjectStorePtr store, TransferOptions options,
                                  std::shared_ptr<Clock> clock)
     : store_(std::move(store)),
       options_(options),
       clock_(clock ? std::move(clock) : std::make_shared<RealClock>()),
-      rng_(options.seed) {
+      retry_(options, &stats_.retries) {
   options_.concurrency = std::max(1, options_.concurrency);
   options_.max_attempts = std::max(1, options_.max_attempts);
   workers_.reserve(static_cast<std::size_t>(options_.concurrency));
@@ -116,15 +125,6 @@ void TransferManager::Cancel() {
   for (auto& op : orphans) Fail(op, Status::Aborted("transfer manager cancelled"));
 }
 
-std::uint64_t TransferManager::JitteredBackoff(std::uint64_t base_us) {
-  double factor = 1.0;
-  if (options_.backoff_jitter > 0) {
-    std::lock_guard<std::mutex> lock(mu_);
-    factor = 1.0 + options_.backoff_jitter * (2.0 * rng_.NextDouble() - 1.0);
-  }
-  return static_cast<std::uint64_t>(static_cast<double>(base_us) * factor);
-}
-
 bool TransferManager::BackoffSleep(std::uint64_t micros) {
   while (micros > 0) {
     if (cancelled_.load(std::memory_order_acquire)) return false;
@@ -165,7 +165,6 @@ void TransferManager::WorkerLoop() {
 
 void TransferManager::Execute(Op& op) {
   const std::uint64_t started = clock_->NowMicros();
-  std::uint64_t backoff = options_.backoff_initial_us;
   Status last(ErrorCode::kUnavailable, "not attempted");
   for (int attempt = 1;; ++attempt) {
     switch (op.kind) {
@@ -208,19 +207,15 @@ void TransferManager::Execute(Op& op) {
         break;
       }
     }
-    if (!Retryable(last.code()) || attempt >= options_.max_attempts ||
+    if (!RetryPolicy::Retryable(last.code()) ||
+        attempt >= options_.max_attempts ||
         cancelled_.load(std::memory_order_acquire)) {
       break;
     }
-    stats_.retries.Add();
-    if (!BackoffSleep(JitteredBackoff(backoff))) {
+    if (!BackoffSleep(retry_.NextBackoffUs(attempt))) {
       last = Status::Aborted("transfer manager cancelled");
       break;
     }
-    backoff = std::min<std::uint64_t>(
-        static_cast<std::uint64_t>(static_cast<double>(backoff) *
-                                   options_.backoff_multiplier),
-        options_.backoff_max_us);
   }
   stats_.failed_ops.Add();
   Fail(op, last);

@@ -52,6 +52,39 @@ struct TransferOptions {
   std::uint64_t seed = 0x6a09'e667'f3bc'c908ull;
 };
 
+// The shared retry schedule: jittered exponential backoff on transient
+// errors. Extracted from TransferManager so every retry loop in the repo —
+// the manager's workers and the commit pipeline's uploaders — draws delays
+// from one policy instead of re-implementing its own. Thread-safe: any
+// number of threads may call NextBackoffUs concurrently.
+class RetryPolicy {
+ public:
+  // `retries` (optional) is bumped once per NextBackoffUs call, i.e. once
+  // per failed attempt that will be retried.
+  explicit RetryPolicy(const TransferOptions& options,
+                       Counter* retries = nullptr)
+      : options_(options), rng_(options.seed), retries_(retries) {}
+
+  int max_attempts() const { return options_.max_attempts < 1 ? 1 : options_.max_attempts; }
+
+  // Transient errors worth retrying; NOT_FOUND and CORRUPTION are answers,
+  // not failures, and retrying them would only hide real damage.
+  static bool Retryable(ErrorCode code) {
+    return code == ErrorCode::kUnavailable || code == ErrorCode::kIoError;
+  }
+
+  // Backoff before the retry that follows failed attempt `attempt`
+  // (1-based): initial * multiplier^(attempt-1), capped at backoff_max_us,
+  // scaled by a uniform jitter factor in [1 - jitter, 1 + jitter].
+  std::uint64_t NextBackoffUs(int attempt);
+
+ private:
+  TransferOptions options_;
+  std::mutex mu_;  // guards rng_
+  SplitMix64 rng_;
+  Counter* retries_;
+};
+
 struct TransferStats {
   Counter gets;              // successful operations
   Counter puts;
@@ -115,7 +148,6 @@ class TransferManager {
   static void Fail(Op& op, const Status& status);
   // Sleeps `micros` of model time in small slices; false when cancelled.
   bool BackoffSleep(std::uint64_t micros);
-  std::uint64_t JitteredBackoff(std::uint64_t base_us);
   bool Enqueue(Op op);  // false (op already failed) when cancelled
 
   ObjectStorePtr store_;
@@ -127,10 +159,10 @@ class TransferManager {
   std::deque<Op> queue_;
   bool stop_ = false;
   std::atomic<bool> cancelled_{false};
-  SplitMix64 rng_;  // guarded by mu_
 
   std::vector<std::thread> workers_;
   TransferStats stats_;
+  RetryPolicy retry_;  // declared after stats_: it feeds stats_.retries
 };
 
 }  // namespace ginja

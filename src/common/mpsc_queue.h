@@ -1,0 +1,105 @@
+// Bounded lock-free multi-producer ring (Vyukov-style), used for the
+// commit pipeline's sharded submit path.
+//
+// Each cell carries an atomic sequence number: producers claim a slot with
+// one fetch_add on the tail and publish by bumping the cell sequence, so
+// concurrent producers never share a cache line beyond the tail counter —
+// and with one ring per shard, not even that. The consumer (the pipeline's
+// Aggregator) drains with plain TryPop; nothing ever blocks inside the
+// queue, so a full ring surfaces as TryPush == false and the caller decides
+// how to wait (the submit path yields: a full ring means the consumer is
+// already behind, which is exactly the condition Ginja's Safety bound is
+// about to convert into back-pressure anyway).
+//
+// The algorithm is MPMC-safe; we only rely on the MPSC subset.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace ginja {
+
+template <typename T>
+class MpscRing {
+ public:
+  // `capacity` is rounded up to a power of two (minimum 4).
+  explicit MpscRing(std::size_t capacity) {
+    std::size_t cap = 4;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // Moves from `item` only on success; false when the ring is full.
+  bool TryPush(T& item) {
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->item = std::move(item);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Single-consumer pop; false when empty (or when the head slot's producer
+  // has claimed but not yet published — the caller simply retries later).
+  bool TryPop(T& out) {
+    Cell* cell = &cells_[head_ & mask_];
+    const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+    if (static_cast<std::intptr_t>(seq) -
+            static_cast<std::intptr_t>(head_ + 1) !=
+        0) {
+      return false;
+    }
+    out = std::move(cell->item);
+    cell->seq.store(head_ + mask_ + 1, std::memory_order_release);
+    ++head_;
+    return true;
+  }
+
+  // Approximate occupancy (producers may be mid-publish).
+  std::size_t SizeApprox() const {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    return tail >= head_ ? tail - head_ : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T item;
+  };
+
+  static constexpr std::size_t kCacheLine = 64;
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  // producers
+  alignas(kCacheLine) std::size_t head_ = 0;              // consumer only
+};
+
+}  // namespace ginja

@@ -95,6 +95,29 @@ double Histogram::Max() const {
   return max_;
 }
 
+HistogramSnapshot Histogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot snap;
+  snap.count = total_;
+  snap.mean = total_ == 0 ? 0 : sum_ / static_cast<double>(total_);
+  snap.max = max_;
+  if (total_ == 0) return snap;
+  auto quantile = [&](double q) {
+    const auto target =
+        static_cast<std::uint64_t>(q * static_cast<double>(total_));
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += counts_[b];
+      if (seen > target) return BucketUpper(b);
+    }
+    return max_;
+  };
+  snap.p50 = quantile(0.50);
+  snap.p95 = quantile(0.95);
+  snap.p99 = quantile(0.99);
+  return snap;
+}
+
 void Histogram::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   std::fill(std::begin(counts_), std::end(counts_), 0);

@@ -43,6 +43,18 @@ class Meter {
   double max_ = 0;
 };
 
+// One consistent view of a Histogram, taken under a single lock — use this
+// when reporting several quantiles of a live histogram (separate Quantile()
+// calls could straddle concurrent Records).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
 // Histogram with geometric buckets; supports approximate quantiles. Bounds
 // cover 1 us .. ~1200 s of latency when values are in microseconds.
 class Histogram {
@@ -55,6 +67,7 @@ class Histogram {
   // q in [0,1]; returns an approximate value at that quantile.
   double Quantile(double q) const;
   double Max() const;
+  HistogramSnapshot Snapshot() const;
   void Reset();
 
  private:

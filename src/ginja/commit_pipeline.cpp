@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
+#include <chrono>
+#include <thread>
 
 namespace ginja {
 
@@ -10,7 +11,86 @@ namespace {
 // Poll interval for time-based predicates (TB/TS); wall time, so it works
 // with any Clock scale.
 constexpr auto kPollInterval = std::chrono::milliseconds(1);
+// EWMA weight for the adaptive controller's RTT / arrival-rate estimates.
+constexpr double kEwmaAlpha = 0.2;
+// Slice length for kill-interruptible backoff sleeps (model time).
+constexpr std::uint64_t kSleepSliceUs = 20'000;
+// Decorrelates the uploaders' jitter streams (golden-ratio increment).
+constexpr std::uint64_t kSeedStride = 0x9E3779B97F4A7C15ull;
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// AdaptiveBatchController
+
+AdaptiveBatchController::AdaptiveBatchController(std::size_t batch_cap,
+                                                std::uint64_t tb_us,
+                                                int uploader_threads)
+    : batch_cap_(batch_cap < 1 ? 1 : batch_cap),
+      tb_us_(tb_us),
+      uploaders_(uploader_threads < 1 ? 1.0
+                                      : static_cast<double>(uploader_threads)) {}
+
+void AdaptiveBatchController::RecordPutRtt(std::uint64_t rtt_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double sample = static_cast<double>(rtt_us);
+  if (!have_rtt_) {
+    rtt_ewma_us_ = sample;
+    have_rtt_ = true;
+  } else {
+    rtt_ewma_us_ = kEwmaAlpha * sample + (1.0 - kEwmaAlpha) * rtt_ewma_us_;
+  }
+}
+
+void AdaptiveBatchController::RecordArrivals(std::size_t count,
+                                             std::uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (last_arrival_us_ == 0) {
+    last_arrival_us_ = now_us;
+    arrival_carry_ += count;
+    return;
+  }
+  const std::uint64_t dt = now_us - last_arrival_us_;
+  if (dt == 0) {
+    // Same observation instant (coarse clocks): fold into the next sample.
+    arrival_carry_ += count;
+    return;
+  }
+  const double sample =
+      static_cast<double>(count + arrival_carry_) / static_cast<double>(dt);
+  arrival_carry_ = 0;
+  last_arrival_us_ = now_us;
+  if (!have_rate_) {
+    rate_ewma_ = sample;
+    have_rate_ = true;
+  } else {
+    rate_ewma_ = kEwmaAlpha * sample + (1.0 - kEwmaAlpha) * rate_ewma_;
+  }
+}
+
+double AdaptiveBatchController::TargetLocked() const {
+  return rate_ewma_ * rtt_ewma_us_ / uploaders_;
+}
+
+std::uint64_t AdaptiveBatchController::CloseDeadlineUs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!have_rtt_ || !have_rate_) return 0;
+  if (TargetLocked() <= 1.0) return 0;
+  const double deadline = rtt_ewma_us_ / uploaders_;
+  return static_cast<std::uint64_t>(
+      std::min(deadline, static_cast<double>(tb_us_)));
+}
+
+std::size_t AdaptiveBatchController::TargetBatch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!have_rtt_ || !have_rate_) return 1;
+  const double target = TargetLocked();
+  if (target <= 1.0) return 1;
+  if (target >= static_cast<double>(batch_cap_)) return batch_cap_;
+  return static_cast<std::size_t>(target);
+}
+
+// ---------------------------------------------------------------------------
+// CommitPipeline
 
 CommitPipeline::CommitPipeline(ObjectStorePtr store,
                                std::shared_ptr<CloudView> view,
@@ -22,7 +102,25 @@ CommitPipeline::CommitPipeline(ObjectStorePtr store,
       clock_(std::move(clock)),
       config_(config),
       envelope_(std::move(envelope)) {
+  const int shard_count = std::max(1, config_.submit_shards);
+  // Each ring must absorb a full S backlog plus a batch in flight; beyond
+  // that Submit backpressures by spinning, which S-blocking normally
+  // prevents from ever happening.
+  const std::size_t ring_capacity = std::min<std::size_t>(
+      std::max<std::size_t>(config_.safety + config_.batch + 64, 64), 65536);
+  shards_.reserve(static_cast<std::size_t>(shard_count));
+  for (int i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<MpscRing<Slot>>(ring_capacity));
+  }
+  reorder_.resize(1024);
+  reorder_filled_.assign(1024, 0);
+  if (config_.adaptive_batching) {
+    adaptive_ = std::make_unique<AdaptiveBatchController>(
+        config_.batch, config_.batch_timeout_us,
+        std::max(1, config_.uploader_threads));
+  }
   last_agg_time_us_ = clock_->NowMicros();
+  coarse_now_us_.store(last_agg_time_us_, std::memory_order_release);
 }
 
 CommitPipeline::~CommitPipeline() { Kill(); }
@@ -30,21 +128,23 @@ CommitPipeline::~CommitPipeline() { Kill(); }
 void CommitPipeline::Start() {
   threads_.emplace_back([this] { AggregatorLoop(); });
   for (int i = 0; i < config_.uploader_threads; ++i) {
-    threads_.emplace_back([this] { UploaderLoop(); });
+    threads_.emplace_back([this, i] { UploaderLoop(i); });
   }
   threads_.emplace_back([this] { UnlockerLoop(); });
 }
 
 void CommitPipeline::Stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) return;
-    stopping_ = true;
+    std::lock_guard<std::mutex> lock(agg_mu_);
   }
-  queue_cv_.notify_all();
+  agg_cv_.notify_all();
   Drain();
   upload_queue_.Close();
   ack_queue_.Close();
+  {
+    std::lock_guard<std::mutex> lock(block_mu_);
+  }
   unblock_cv_.notify_all();
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
@@ -53,13 +153,15 @@ void CommitPipeline::Stop() {
 }
 
 void CommitPipeline::Kill() {
+  if (killed_.exchange(true, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (killed_) return;
-    killed_ = true;
-    stopping_ = true;
+    std::lock_guard<std::mutex> lock(agg_mu_);
   }
-  queue_cv_.notify_all();
+  agg_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(block_mu_);
+  }
   unblock_cv_.notify_all();
   upload_queue_.Close();
   ack_queue_.Close();
@@ -69,30 +171,118 @@ void CommitPipeline::Kill() {
   threads_.clear();
 }
 
-bool CommitPipeline::ShouldBlockLocked(std::uint64_t now_us) const {
-  if (queue_.size() > config_.safety) return true;
-  if (!queue_.empty() &&
-      now_us - queue_.front().second >= config_.safety_timeout_us) {
-    return true;
+std::uint64_t CommitPipeline::Unconfirmed() const {
+  // Read completed first: between the two loads both counters can only
+  // grow, so a stale completed count makes the estimate *larger* — the S
+  // bound errs toward blocking, never toward extra loss.
+  const std::uint64_t completed =
+      completed_count_.load(std::memory_order_acquire);
+  const std::uint64_t submitted = submit_seq_.load(std::memory_order_acquire);
+  return submitted - completed;
+}
+
+bool CommitPipeline::ShouldBlock(std::uint64_t now_us) const {
+  if (Unconfirmed() > config_.safety) return true;
+  const std::uint64_t oldest = oldest_pending_us_.load(std::memory_order_acquire);
+  return oldest != kNoOldest && now_us - oldest >= config_.safety_timeout_us;
+}
+
+std::size_t CommitPipeline::ShardOf(const WalWrite& write) const {
+  // Same (file, page) always lands on the same shard, so per-page rewrite
+  // streams stay FIFO within a shard; the sequencer provides the global
+  // order anyway, this only spreads contention. Any mapping is correct, so
+  // instead of hashing the whole file name we sample the bytes that vary
+  // between WAL segments (length, tail, middle) — a handful of loads on
+  // the submit hot path instead of a full string hash.
+  std::size_t h = write.file.size();
+  if (!write.file.empty()) {
+    h = h * 131 + static_cast<unsigned char>(write.file.back());
+    h = h * 131 + static_cast<unsigned char>(write.file[write.file.size() / 2]);
   }
-  return false;
+  h ^= (write.offset >> 12) + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  return h % shards_.size();
 }
 
 void CommitPipeline::Submit(WalWrite write) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (killed_) return;
-  queue_.emplace_back(std::move(write), clock_->NowMicros());
-  stats_.writes_submitted.Add();
-  // Wake the Aggregator only when a full batch is ready; partial batches
-  // are picked up by its TB poll. Avoids a wakeup per commit.
-  if (queue_.size() - aggregated_ >= config_.batch) queue_cv_.notify_one();
+  if (killed_.load(std::memory_order_acquire)) return;
+  Slot slot;
+  slot.write = std::move(write);
+  std::uint64_t seq;
+  bool block_fast;
+  if (shards_.size() == 1) {
+    // Single-lock baseline, reproducing the contention profile of the old
+    // global-deque design line by line: one mutex covers the entire submit
+    // body — the enqueue-time clock read, sequencing, enqueue, stats, the
+    // aggregator wakeup, and the S/TS fast-path check with its own clock
+    // read — and the aggregator holds the same mutex while it drains and
+    // coalesces a batch, so submitters stall behind aggregation exactly as
+    // they did behind the old locked std::map build.
+    std::unique_lock<std::mutex> lock(legacy_mu_);
+    slot.enqueue_us = clock_->NowMicros();
+    seq = submit_seq_.fetch_add(1, std::memory_order_acq_rel);
+    slot.seq = seq;
+    while (!shards_[0]->TryPush(slot)) {
+      if (killed_.load(std::memory_order_acquire)) return;
+      // Drop the lock while yielding: draining the ring needs legacy_mu_,
+      // so spinning with it held would deadlock when backlog > capacity.
+      lock.unlock();
+      std::this_thread::yield();
+      lock.lock();
+    }
+    stats_.writes_submitted.Add();
+    // Old behavior: notify under the lock on every over-threshold submit.
+    if (seq + 1 - batched_count_.load(std::memory_order_relaxed) >=
+        config_.batch) {
+      agg_cv_.notify_one();
+    }
+    block_fast = ShouldBlock(clock_->NowMicros());
+  } else {
+    // Coarse enqueue stamp: see coarse_now_us_. Saves a clock read per
+    // Submit; the error is bounded by one aggregator poll and biased old,
+    // which only over-ages writes against the seconds-scale TS bound.
+    slot.enqueue_us = coarse_now_us_.load(std::memory_order_relaxed);
+    const std::size_t shard = ShardOf(slot.write);
+    seq = submit_seq_.fetch_add(1, std::memory_order_acq_rel);
+    slot.seq = seq;
+    // Ring full = S-sized backlog on this shard; spin as backpressure. The
+    // aggregator cannot stage past this seq until the push lands, so the
+    // write is never lost, only delayed.
+    while (!shards_[shard]->TryPush(slot)) {
+      if (killed_.load(std::memory_order_acquire)) return;
+      std::this_thread::yield();
+    }
+    stats_.writes_submitted.Add();
 
-  // Event-driven block (no polling): while blocked, ShouldBlock can only
-  // flip to false through an Unlocker pop, and every pop signals
-  // unblock_cv_. Time passing alone never unblocks (it only *ages* the
-  // front entry toward the TS limit), so waiting without a timeout is safe.
+    // Wake the Aggregator only when a full batch is pending AND it is
+    // parked; partial batches are picked up by its TB/adaptive poll.
+    // Skipping the notify while it is awake keeps agg_mu_ off the submit
+    // hot path — under a burst every thread would otherwise serialize on
+    // it here.
+    if (seq + 1 - batched_count_.load(std::memory_order_relaxed) >=
+            config_.batch &&
+        agg_idle_.load(std::memory_order_acquire)) {
+      {
+        std::lock_guard<std::mutex> lock(agg_mu_);
+      }
+      agg_cv_.notify_one();
+    }
+    // Alg. 2 lines 5-7 fast path, lock-free and reusing the enqueue
+    // timestamp (TS is seconds-scale, the push is microseconds).
+    block_fast = ShouldBlock(slot.enqueue_us);
+  }
+
+  // Block while S/TS would be violated. The slow path is event-driven (no
+  // polling): while blocked, ShouldBlock can only flip to false through an
+  // Unlocker completion, and every completion updates the counters *before*
+  // signalling unblock_cv_ (with an empty block_mu_ critical section
+  // ordering the two), so waiting without a timeout is safe. Time passing
+  // alone never unblocks — it only ages the oldest write toward the TS
+  // limit.
+  if (!block_fast) return;
+  std::unique_lock<std::mutex> lock(block_mu_);
   bool blocked = false;
-  while (!killed_ && ShouldBlockLocked(clock_->NowMicros())) {
+  while (!killed_.load(std::memory_order_acquire) &&
+         ShouldBlock(clock_->NowMicros())) {
     if (!blocked) {
       blocked = true;
       stats_.blocked_waits.Add();  // counted on entry: observable mid-stall
@@ -102,159 +292,263 @@ void CommitPipeline::Submit(WalWrite write) {
 }
 
 void CommitPipeline::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  unblock_cv_.wait(lock, [&] { return killed_ || queue_.empty(); });
+  std::unique_lock<std::mutex> lock(block_mu_);
+  unblock_cv_.wait(lock, [&] {
+    return killed_.load(std::memory_order_acquire) || Unconfirmed() == 0;
+  });
 }
 
 std::size_t CommitPipeline::PendingWrites() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return static_cast<std::size_t>(Unconfirmed());
+}
+
+void CommitPipeline::PlaceInReorder(Slot slot) {
+  if (slot.seq - reorder_base_ >= reorder_.size()) GrowReorder(slot.seq);
+  const std::size_t idx = slot.seq & (reorder_.size() - 1);
+  reorder_[idx] = std::move(slot);
+  reorder_filled_[idx] = 1;
+}
+
+void CommitPipeline::GrowReorder(std::uint64_t seq) {
+  std::size_t want = reorder_.size() * 2;
+  while (want < seq - reorder_base_ + 1) want <<= 1;
+  std::vector<Slot> old = std::move(reorder_);
+  std::vector<char> old_filled = std::move(reorder_filled_);
+  reorder_ = std::vector<Slot>(want);
+  reorder_filled_.assign(want, 0);
+  for (std::size_t i = 0; i < old.size(); ++i) {
+    if (!old_filled[i]) continue;
+    const std::size_t idx = old[i].seq & (want - 1);
+    reorder_[idx] = std::move(old[i]);
+    reorder_filled_[idx] = 1;
+  }
+}
+
+std::size_t CommitPipeline::DrainShards() {
+  Slot slot;
+  for (auto& shard : shards_) {
+    while (shard->TryPop(slot)) PlaceInReorder(std::move(slot));
+  }
+  // Stage the dense seq prefix: batch formation must see writes in global
+  // submit order (byte-for-byte batch equivalence with the single queue),
+  // so a write drained out of order parks in the window until the gap
+  // before it fills.
+  std::size_t newly = 0;
+  while (true) {
+    const std::size_t idx = reorder_base_ & (reorder_.size() - 1);
+    if (!reorder_filled_[idx]) break;
+    staged_.push_back(std::move(reorder_[idx]));
+    reorder_filled_[idx] = 0;
+    ++reorder_base_;
+    ++newly;
+  }
+  if (newly > 0) {
+    // Newly staged writes become TS-visible: publish the oldest pending
+    // enqueue time. Writes still inside the rings are invisible to TS for
+    // at most ~one poll interval, negligible against TS >= milliseconds.
+    std::lock_guard<std::mutex> lock(window_mu_);
+    for (std::size_t i = staged_.size() - newly; i < staged_.size(); ++i) {
+      pending_times_.push_back(staged_[i].enqueue_us);
+    }
+    oldest_pending_us_.store(pending_times_.front(),
+                             std::memory_order_release);
+  }
+  return newly;
 }
 
 void CommitPipeline::AggregatorLoop() {
   while (true) {
-    struct Group {
-      std::string file;
-      std::vector<FileEntry> entries;
-      std::uint64_t max_lsn = 0;
-      std::uint64_t first_offset = 0;
-    };
-    std::map<std::string, Group> groups;
-    std::size_t batch_items = 0;
-    std::uint64_t batch_seq = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait_for(lock, kPollInterval, [&] {
-        return stopping_ || queue_.size() - aggregated_ >= config_.batch;
+      std::unique_lock<std::mutex> lock(agg_mu_);
+      agg_idle_.store(true, std::memory_order_release);
+      agg_cv_.wait_for(lock, kPollInterval, [&] {
+        return stopping_.load(std::memory_order_acquire) ||
+               submit_seq_.load(std::memory_order_acquire) -
+                       batched_count_.load(std::memory_order_relaxed) >=
+                   config_.batch;
       });
-      if (killed_) return;
-      const std::size_t unaggregated = queue_.size() - aggregated_;
-      if (unaggregated == 0) {
-        if (stopping_) return;
-        continue;
-      }
-      const std::uint64_t now = clock_->NowMicros();
-      const bool timeout =
-          now - last_agg_time_us_ >= config_.batch_timeout_us;
-      if (unaggregated < config_.batch && !timeout && !stopping_) continue;
-
-      const std::size_t take = std::min(config_.batch, unaggregated);
-
-      // Aggregate (Alg. 2 lines 12–13) while holding the lock: coalesce
-      // rewrites of the same page — last write wins — so only the surviving
-      // pages are copied out (a B=1000 batch usually collapses to a
-      // handful of pages).
-      std::map<std::pair<std::string_view, std::uint64_t>, const WalWrite*>
-          coalesced;
-      for (std::size_t i = 0; i < take; ++i) {
-        const WalWrite& w = queue_[aggregated_ + i].first;
-        coalesced[{w.file, w.offset}] = &w;
-      }
-      for (const auto& [key, w] : coalesced) {
-        Group& g = groups[w->file];
-        if (g.entries.empty()) {
-          g.file = w->file;
-          g.first_offset = w->offset;
-        }
-        g.entries.push_back({w->file, w->offset, w->data});
-        g.max_lsn = std::max(g.max_lsn, w->max_lsn);
-      }
-
-      batch_items = take;
-      aggregated_ += take;
-      batch_seq = next_batch_seq_++;
-      last_agg_time_us_ = now;
+      agg_idle_.store(false, std::memory_order_release);
     }
-
-    // Split oversized groups at the object-size limit, then order all
-    // resulting objects by the WAL-stream range they cover so timestamps
-    // stay monotone in LSN (the prefix-GC invariant).
-    struct PendingObject {
-      std::vector<FileEntry> entries;
-      std::string file;
-      std::uint64_t first_offset;
-      std::uint64_t max_lsn;
-    };
-    std::vector<PendingObject> objects;
-    for (auto& [file, group] : groups) {
-      std::vector<FileEntry> current;
-      std::size_t bytes = 0;
-      std::uint64_t first_offset = group.first_offset;
-      for (auto& entry : group.entries) {
-        if (!current.empty() &&
-            bytes + entry.data.size() > config_.max_object_bytes) {
-          objects.push_back({std::move(current), file, first_offset, group.max_lsn});
-          current.clear();
-          bytes = 0;
-          first_offset = entry.offset;
-        }
-        bytes += entry.data.size();
-        current.push_back(std::move(entry));
-      }
-      if (!current.empty()) {
-        objects.push_back({std::move(current), file, first_offset, group.max_lsn});
-      }
+    if (killed_.load(std::memory_order_acquire)) return;
+    // Single-lock baseline: the old design coalesced under the global
+    // submit mutex, stalling every Submit for the duration of batch
+    // formation. Reproduce that by holding legacy_mu_ across the drain and
+    // the FormBatch calls. Sharded mode takes no submit-path lock here.
+    std::unique_lock<std::mutex> legacy_lock(legacy_mu_, std::defer_lock);
+    if (shards_.size() == 1) legacy_lock.lock();
+    const std::size_t newly = DrainShards();
+    const std::uint64_t now = clock_->NowMicros();
+    coarse_now_us_.store(now, std::memory_order_release);
+    if (adaptive_) adaptive_->RecordArrivals(newly, now);
+    if (staged_.empty()) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      continue;
     }
-    std::stable_sort(objects.begin(), objects.end(),
-                     [](const PendingObject& a, const PendingObject& b) {
-                       return a.max_lsn < b.max_lsn;
-                     });
-
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      Batch batch;
-      batch.seq = batch_seq;
-      batch.item_count = batch_items;
-      batch.objects_total = objects.size();
-      for (const auto& obj : objects) {
-        batch.max_lsn = std::max(batch.max_lsn, obj.max_lsn);
-      }
-      batches_.push_back(batch);
+    while (staged_.size() >= config_.batch) {
+      FormBatch(config_.batch, now, /*closed_full=*/true);
     }
-
-    for (auto& obj : objects) {
-      WalObjectId id;
-      id.ts = view_->NextWalTs();
-      id.filename = obj.file;
-      id.offset = obj.first_offset;
-      id.max_lsn = obj.max_lsn;
-
-      UploadJob job;
-      job.batch_seq = batch_seq;
-      job.name = id.Encode();
-      job.entries = std::move(obj.entries);
-      job.nonce = id.ts;
-      upload_queue_.Put(std::move(job));
+    if (!staged_.empty()) {
+      const std::uint64_t deadline =
+          adaptive_ ? adaptive_->CloseDeadlineUs() : config_.batch_timeout_us;
+      if (stopping_.load(std::memory_order_acquire) ||
+          now - last_agg_time_us_ >= deadline) {
+        FormBatch(staged_.size(), now, /*closed_full=*/false);
+      }
     }
   }
 }
 
-void CommitPipeline::UploaderLoop() {
-  // Framing and envelope buffers are reused across jobs: EncodeInto clears
-  // them but keeps their capacity, so a steady-state uploader stops
-  // allocating altogether.
+void CommitPipeline::FormBatch(std::size_t take, std::uint64_t now_us,
+                               bool closed_full) {
+  // Aggregate (Alg. 2 lines 12-13): coalesce rewrites of the same page —
+  // last write wins — so only surviving pages are encoded (a B=1000 batch
+  // usually collapses to a handful of pages). The reusable table replaces
+  // a per-batch std::map: zero allocation at steady state.
+  coalesce_.Begin(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    const WalWrite& w = staged_[i].write;
+    coalesce_.Upsert(w.file, w.offset, static_cast<std::uint32_t>(i));
+  }
+  survivors_.clear();
+  coalesce_.ForEach(
+      [&](std::string_view file, std::uint64_t offset, std::uint32_t index) {
+        survivors_.push_back({file, offset, index});
+      });
+  // (file, offset) order reproduces the old sorted-map iteration exactly,
+  // keeping object contents byte-identical to the previous design.
+  std::sort(survivors_.begin(), survivors_.end(),
+            [](const SurvivorRef& a, const SurvivorRef& b) {
+              if (a.file != b.file) return a.file < b.file;
+              return a.offset < b.offset;
+            });
+
+  // Per-file runs become objects, split at the object-size limit. Entry
+  // refs borrow the submitted writes' own buffers (moved, never copied)
+  // and pipeline-lifetime interned names; the uploader encodes straight
+  // from them.
+  struct PendingObject {
+    std::vector<FileEntryRef> entries;
+    std::vector<Bytes> data;
+    std::string_view file;
+    std::uint64_t first_offset = 0;
+    std::uint64_t max_lsn = 0;
+  };
+  std::vector<PendingObject> objects;
+  std::size_t i = 0;
+  while (i < survivors_.size()) {
+    std::size_t j = i;
+    std::uint64_t run_max_lsn = 0;
+    while (j < survivors_.size() && survivors_[j].file == survivors_[i].file) {
+      run_max_lsn = std::max(run_max_lsn,
+                             staged_[survivors_[j].index].write.max_lsn);
+      ++j;
+    }
+    const std::string_view file = names_.Intern(survivors_[i].file);
+    objects.emplace_back();
+    PendingObject* current = &objects.back();
+    current->file = file;
+    current->first_offset = survivors_[i].offset;
+    current->max_lsn = run_max_lsn;  // splits cover the same WAL range
+    std::size_t bytes = 0;
+    for (std::size_t k = i; k < j; ++k) {
+      Slot& slot = staged_[survivors_[k].index];
+      if (!current->entries.empty() &&
+          bytes + slot.write.data.size() > config_.max_object_bytes) {
+        objects.emplace_back();
+        current = &objects.back();
+        current->file = file;
+        current->first_offset = slot.write.offset;
+        current->max_lsn = run_max_lsn;
+        bytes = 0;
+      }
+      bytes += slot.write.data.size();
+      current->entries.push_back(
+          {file, slot.write.offset, View(slot.write.data)});
+      current->data.push_back(std::move(slot.write.data));
+    }
+    i = j;
+  }
+  // Order objects by the WAL-stream range they cover so timestamps stay
+  // monotone in LSN (the prefix-GC invariant).
+  std::stable_sort(objects.begin(), objects.end(),
+                   [](const PendingObject& a, const PendingObject& b) {
+                     return a.max_lsn < b.max_lsn;
+                   });
+
+  Batch batch;
+  batch.seq = next_batch_seq_++;
+  batch.item_count = take;
+  batch.objects_total = objects.size();
+  for (const auto& obj : objects) {
+    batch.max_lsn = std::max(batch.max_lsn, obj.max_lsn);
+  }
+  {
+    std::lock_guard<std::mutex> lock(window_mu_);
+    batches_.push_back(batch);
+  }
+  batched_count_.fetch_add(take, std::memory_order_release);
+  (closed_full ? stats_.batches_closed_full : stats_.batches_closed_deadline)
+      .Add();
+
+  for (auto& obj : objects) {
+    WalObjectId id;
+    id.ts = view_->NextWalTs();
+    id.filename = std::string(obj.file);
+    id.offset = obj.first_offset;
+    id.max_lsn = obj.max_lsn;
+
+    UploadJob job;
+    job.batch_seq = batch.seq;
+    job.name = id.Encode();
+    job.entries = std::move(obj.entries);
+    job.data = std::move(obj.data);
+    job.nonce = id.ts;
+    upload_queue_.Put(std::move(job));
+  }
+  staged_.erase(staged_.begin(),
+                staged_.begin() + static_cast<std::ptrdiff_t>(take));
+  last_agg_time_us_ = now_us;
+}
+
+bool CommitPipeline::SleepInterruptible(std::uint64_t micros) {
+  while (micros > 0) {
+    if (killed_.load(std::memory_order_acquire)) return false;
+    const std::uint64_t slice = std::min(micros, kSleepSliceUs);
+    clock_->SleepMicros(slice);
+    micros -= slice;
+  }
+  return !killed_.load(std::memory_order_acquire);
+}
+
+void CommitPipeline::UploaderLoop(int index) {
+  // Each uploader draws backoffs from the shared RetryPolicy schedule with
+  // its own decorrelated jitter stream, and reuses its framing/envelope
+  // buffers across jobs (EncodeInto clears but keeps capacity), so a
+  // steady-state uploader stops allocating altogether.
+  TransferOptions retry_options = MakeTransferOptions(config_, 1);
+  retry_options.seed += kSeedStride * static_cast<std::uint64_t>(index + 1);
+  RetryPolicy retry(retry_options, &stats_.upload_retries);
   Bytes framing;
   Bytes enveloped;
   while (auto job = upload_queue_.Take()) {
-    const PayloadView payload =
-        EncodeEntriesView(MakeEntryRefs(job->entries), framing);
+    const PayloadView payload = EncodeEntriesView(job->entries, framing);
     stats_.object_logical_bytes.Record(static_cast<double>(payload.size()));
     envelope_->EncodeInto(payload, job->nonce, enveloped);
-    int attempts = 0;
     bool uploaded = false;
-    while (attempts < config_.max_retries) {
+    for (int attempt = 1; attempt <= retry.max_attempts(); ++attempt) {
+      const std::uint64_t started = clock_->NowMicros();
       Status st = store_->Put(job->name, View(enveloped));
       if (st.ok()) {
+        if (adaptive_) adaptive_->RecordPutRtt(clock_->NowMicros() - started);
         uploaded = true;
         break;
       }
-      stats_.upload_retries.Add();
-      ++attempts;
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (killed_) break;
+      if (killed_.load(std::memory_order_acquire) ||
+          attempt >= retry.max_attempts() ||
+          !RetryPolicy::Retryable(st.code())) {
+        break;
       }
-      clock_->SleepMicros(config_.retry_backoff_us);
+      if (!SleepInterruptible(retry.NextBackoffUs(attempt))) break;
     }
     if (uploaded) {
       stats_.objects_uploaded.Add();
@@ -270,9 +564,12 @@ void CommitPipeline::UploaderLoop() {
 
 void CommitPipeline::UnlockerLoop() {
   while (auto ack = ack_queue_.Take()) {
+    const std::uint64_t now = clock_->NowMicros();
+    coarse_now_us_.store(now, std::memory_order_release);
     bool advanced = false;
+    std::uint64_t completed = 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<std::mutex> lock(window_mu_);
       if (!ack->uploaded) frontier_broken_.store(true);
       for (auto& batch : batches_) {
         if (batch.seq == ack->batch_seq) {
@@ -282,13 +579,17 @@ void CommitPipeline::UnlockerLoop() {
       }
       // Remove completed batches from the head only — this is the
       // consecutive-timestamp rule that bounds loss to S despite parallel
-      // out-of-order uploads (Alg. 2 lines 19–22).
+      // out-of-order uploads (Alg. 2 lines 19-22).
       while (!batches_.empty() &&
              batches_.front().objects_acked >= batches_.front().objects_total) {
         const std::size_t n = batches_.front().item_count;
-        assert(queue_.size() >= n && aggregated_ >= n);
-        for (std::size_t i = 0; i < n; ++i) queue_.pop_front();
-        aggregated_ -= n;
+        assert(pending_times_.size() >= n);
+        for (std::size_t i = 0; i < n; ++i) {
+          stats_.commit_latency_us.Record(
+              static_cast<double>(now - pending_times_.front()));
+          pending_times_.pop_front();
+        }
+        completed += n;
         // The recoverable WAL frontier advances only with the consecutive
         // prefix of *successfully* acknowledged batches.
         if (!frontier_broken_.load() &&
@@ -300,8 +601,20 @@ void CommitPipeline::UnlockerLoop() {
         batches_.pop_front();
         stats_.batches_uploaded.Add();
       }
-      unblock_cv_.notify_all();
+      oldest_pending_us_.store(
+          pending_times_.empty() ? kNoOldest : pending_times_.front(),
+          std::memory_order_release);
     }
+    if (completed > 0) {
+      completed_count_.fetch_add(completed, std::memory_order_release);
+    }
+    // Empty critical section: orders the counter updates above before the
+    // notify, so a Submit that just evaluated ShouldBlock under block_mu_
+    // cannot miss this wakeup.
+    {
+      std::lock_guard<std::mutex> lock(block_mu_);
+    }
+    unblock_cv_.notify_all();
     // Off-lock: the listener takes the checkpoint pipeline's mutex.
     if (advanced && frontier_listener_) frontier_listener_();
   }

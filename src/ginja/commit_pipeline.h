@@ -1,21 +1,32 @@
 // The commit pipeline — paper Algorithm 2 / Figure 3.
 //
-// Intercepted WAL writes enter the CommitQueue; the Aggregator coalesces
+// Intercepted WAL writes enter through Submit; the Aggregator coalesces
 // batches of up to B writes into WAL objects (page rewrites to the same
 // offset collapse — the key cost optimisation); Uploader threads PUT the
-// objects in parallel; the Unlocker removes batches from the queue head
-// *in timestamp order* as their uploads are acknowledged, which is what
-// bounds data loss to S even with out-of-order parallel uploads.
+// objects in parallel; the Unlocker removes batches from the pending
+// window *in timestamp order* as their uploads are acknowledged, which is
+// what bounds data loss to S even with out-of-order parallel uploads.
 //
 // A write blocks (stalling the DBMS inside its intercepted syscall) while
 // more than S writes are unconfirmed, or while the oldest unconfirmed
 // write has been pending longer than TS.
+//
+// Ingestion front end (DESIGN.md "Sharded commit ingestion"): Submit is
+// lock-free — a global sequencer (one fetch_add) stamps the submit order,
+// the write lands in a per-shard MPSC ring chosen by (file, page), and the
+// S/TS predicate reads three atomics. The Aggregator drains the shards and
+// restores sequencer order through a dense reorder window, so batches are
+// formed from exactly the same global write order as the old single-mutex
+// queue — byte-for-byte the same objects regardless of shard count. With
+// submit_shards == 1 the sequencing + enqueue step is serialized under a
+// mutex instead, reproducing the single-lock baseline for comparison.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -25,9 +36,11 @@
 #include "common/blocking_queue.h"
 #include "common/clock.h"
 #include "common/codec/envelope.h"
+#include "common/mpsc_queue.h"
 #include "common/stats.h"
 #include "db/layout.h"
 #include "ginja/cloud_view.h"
+#include "ginja/coalesce.h"
 #include "ginja/config.h"
 #include "ginja/payload.h"
 
@@ -49,7 +62,61 @@ struct CommitPipelineStats {
   Counter bytes_uploaded;          // enveloped bytes
   Counter blocked_waits;           // times a Submit had to block
   Counter upload_retries;
+  Counter batches_closed_full;     // batches closed because B writes were ready
+  Counter batches_closed_deadline; // batches closed by TB / adaptive deadline
   Meter object_logical_bytes;      // pre-envelope object sizes
+  // Per-write commit latency in model-time microseconds: Submit enqueue to
+  // the write's batch being fully acknowledged by the cloud. Quantiles via
+  // commit_latency_us.Snapshot().
+  Histogram commit_latency_us;
+};
+
+// Chooses the batch-close deadline for adaptive group commit. The fixed TB
+// poll pays worst-case latency at every load level; following BtrLog's
+// observation that commit latency under group commit is dominated by batch
+// timing, this controller tracks the PUT round-trip R and the write arrival
+// rate λ (both EWMA) and closes batches to minimise expected commit latency
+// subject to the B cap:
+//
+//   * λ·R/K <= 1 (K uploaders keep up with singleton batches): deadline 0 —
+//     ship every write as soon as the aggregator sees it;
+//   * λ·R/K > 1 (uploads would queue): a batch must carry ~λ·R/K writes to
+//     sustain the arrival rate, which takes ~R/K to gather — so the
+//     deadline is R/K, capped at B writes and at the configured TB.
+//
+// TB remains a hard upper bound in all regimes. Thread-safe.
+class AdaptiveBatchController {
+ public:
+  AdaptiveBatchController(std::size_t batch_cap, std::uint64_t tb_us,
+                          int uploader_threads);
+
+  // Round-trip of one successful PUT (model-time us), from the uploaders.
+  void RecordPutRtt(std::uint64_t rtt_us);
+  // Writes drained by the aggregator this round; call with count == 0 too,
+  // so the rate estimate decays while the pipeline idles.
+  void RecordArrivals(std::size_t count, std::uint64_t now_us);
+
+  // Micros since the last batch closed after which a partial batch ships;
+  // always <= TB. 0 = close as soon as anything is pending (also the cold
+  // start, before the first PUT round-trip is known).
+  std::uint64_t CloseDeadlineUs() const;
+  // The batch size the controller is currently steering toward, in [1, B].
+  std::size_t TargetBatch() const;
+
+ private:
+  double TargetLocked() const;  // λ·R/K, unclamped; mu_ held
+
+  const std::size_t batch_cap_;
+  const std::uint64_t tb_us_;
+  const double uploaders_;
+
+  mutable std::mutex mu_;
+  double rtt_ewma_us_ = 0;
+  bool have_rtt_ = false;
+  double rate_ewma_ = 0;  // writes per microsecond
+  bool have_rate_ = false;
+  std::uint64_t last_arrival_us_ = 0;
+  std::size_t arrival_carry_ = 0;  // same-timestamp arrivals, folded forward
 };
 
 class CommitPipeline {
@@ -69,7 +136,8 @@ class CommitPipeline {
   void Kill();
 
   // Called from the DBMS thread (via the processor). Implements Alg. 2
-  // lines 4–7: enqueue, then block while S/TS would be violated.
+  // lines 4–7: enqueue, then block while S/TS would be violated. Safe to
+  // call from any number of threads concurrently.
   void Submit(WalWrite write);
 
   // Blocks until the queue is empty (all writes confirmed).
@@ -95,9 +163,15 @@ class CommitPipeline {
   const CommitPipelineStats& stats() const { return stats_; }
 
  private:
+  // A submitted write plus its sequencer stamp and enqueue time.
+  struct Slot {
+    std::uint64_t seq = 0;
+    std::uint64_t enqueue_us = 0;
+    WalWrite write;
+  };
   struct Batch {
     std::uint64_t seq = 0;
-    std::size_t item_count = 0;       // queue entries covered
+    std::size_t item_count = 0;       // writes covered
     std::size_t objects_total = 0;
     std::size_t objects_acked = 0;
     Lsn max_lsn = 0;                  // frontier value once fully acked
@@ -105,17 +179,39 @@ class CommitPipeline {
   struct UploadJob {
     std::uint64_t batch_seq = 0;
     std::string name;
-    // Entries travel unencoded: the uploader frames them as a scatter-gather
-    // view and envelopes straight from the entry buffers — the aggregator
-    // never materialises a flat payload copy.
-    std::vector<FileEntry> entries;
+    // Entries travel unencoded and borrowed: each ref points at one of the
+    // `data` buffers (heap allocations moved, never copied, out of the
+    // submitted writes) and at a pipeline-lifetime interned file name. The
+    // uploader frames them as a scatter-gather view and envelopes straight
+    // from these buffers.
+    std::vector<FileEntryRef> entries;
+    std::vector<Bytes> data;
     std::uint64_t nonce = 0;
+  };
+  struct Ack {
+    std::uint64_t batch_seq = 0;
+    bool uploaded = false;
   };
 
   void AggregatorLoop();
-  void UploaderLoop();
+  void UploaderLoop(int index);
   void UnlockerLoop();
-  bool ShouldBlockLocked(std::uint64_t now_us) const;
+
+  // Alg. 2's blocking predicate over the sequencer counters (lock-free).
+  bool ShouldBlock(std::uint64_t now_us) const;
+  std::uint64_t Unconfirmed() const;
+  std::size_t ShardOf(const WalWrite& write) const;
+
+  // Aggregator internals. DrainShards returns the number of writes newly
+  // staged in submit order.
+  std::size_t DrainShards();
+  void PlaceInReorder(Slot slot);
+  void GrowReorder(std::uint64_t seq);
+  void FormBatch(std::size_t take, std::uint64_t now_us, bool closed_full);
+  // Sleeps model-time micros in slices, aborting on Kill(); false if killed.
+  bool SleepInterruptible(std::uint64_t micros);
+
+  static constexpr std::uint64_t kNoOldest = ~std::uint64_t{0};
 
   ObjectStorePtr store_;
   std::shared_ptr<CloudView> view_;
@@ -123,22 +219,68 @@ class CommitPipeline {
   GinjaConfig config_;
   std::shared_ptr<Envelope> envelope_;
 
-  mutable std::mutex mu_;
-  std::condition_variable queue_cv_;    // woken on enqueue (aggregator waits)
-  std::condition_variable unblock_cv_;  // woken on batch completion (Submit waits)
-  std::deque<std::pair<WalWrite, std::uint64_t>> queue_;  // write, enqueue time
-  std::size_t aggregated_ = 0;         // queue prefix already aggregated
+  // -- submit path (DBMS threads) --------------------------------------------
+  // Sequencer: seq of the next Submit == count of writes ever submitted.
+  std::atomic<std::uint64_t> submit_seq_{0};
+  // Writes whose batch has been fully acknowledged (consecutive prefix).
+  std::atomic<std::uint64_t> completed_count_{0};
+  // Enqueue time of the oldest drained-but-unacknowledged write, or
+  // kNoOldest. Writes still inside the shard rings are invisible here for
+  // at most ~one aggregator poll (1 ms) — negligible against TS.
+  std::atomic<std::uint64_t> oldest_pending_us_{kNoOldest};
+  // Writes consumed into batches; published so Submit can cheaply decide
+  // whether a full batch is pending and the aggregator needs a wakeup.
+  std::atomic<std::uint64_t> batched_count_{0};
+  // Clock sampled by the background threads (aggregator each pass, unlocker
+  // each ack), used for enqueue stamps on the sharded submit path instead
+  // of a per-Submit clock read. At most ~one poll interval stale, and never
+  // ahead of the real clock, so commit latencies stay non-negative and TS
+  // ages err toward blocking earlier. The shards == 1 baseline still reads
+  // the clock per Submit, as the old design did.
+  std::atomic<std::uint64_t> coarse_now_us_{0};
+
+  std::vector<std::unique_ptr<MpscRing<Slot>>> shards_;
+  std::mutex legacy_mu_;  // serializes sequencing+enqueue when shards == 1
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> killed_{false};
+
+  std::mutex block_mu_;                 // protects nothing: CV discipline only
+  std::condition_variable unblock_cv_;  // woken on batch completion / kill
+
+  std::mutex agg_mu_;
+  std::condition_variable agg_cv_;      // woken when a full batch is pending
+  // True only while the aggregator is parked in wait_for. Submitters check
+  // it before touching agg_mu_, so a sustained burst (backlog >= B the whole
+  // time) pays at most one notify per aggregator sleep instead of taking a
+  // global mutex on every Submit — which would re-serialize the sharded
+  // path. A missed wake (flag read just before the store) costs at most one
+  // poll interval.
+  std::atomic<bool> agg_idle_{false};
+
+  // -- aggregator-private (no locks) -----------------------------------------
+  std::vector<Slot> reorder_;           // dense window indexed by seq
+  std::vector<char> reorder_filled_;
+  std::uint64_t reorder_base_ = 0;      // seq of the next write to stage
+  std::deque<Slot> staged_;             // dense prefix awaiting batch formation
+  CoalesceTable coalesce_;
+  NameInterner names_;
+  struct SurvivorRef {
+    std::string_view file;
+    std::uint64_t offset = 0;
+    std::uint32_t index = 0;  // into staged_
+  };
+  std::vector<SurvivorRef> survivors_;  // reused across batches
   std::uint64_t last_agg_time_us_ = 0;
   std::uint64_t next_batch_seq_ = 0;
-  std::deque<Batch> batches_;          // in seq order
-  bool stopping_ = false;
-  bool killed_ = false;
+  std::unique_ptr<AdaptiveBatchController> adaptive_;  // null unless enabled
+
+  // -- pending window (aggregator registers, unlocker retires) ---------------
+  mutable std::mutex window_mu_;
+  std::deque<Batch> batches_;                 // in seq order
+  std::deque<std::uint64_t> pending_times_;   // enqueue times, seq order
 
   BlockingQueue<UploadJob> upload_queue_;
-  struct Ack {
-    std::uint64_t batch_seq = 0;
-    bool uploaded = false;
-  };
   BlockingQueue<Ack> ack_queue_;
 
   std::vector<std::thread> threads_;

@@ -27,13 +27,24 @@ struct GinjaConfig {
   // -- pipeline ----------------------------------------------------------------
   // Parallel Uploader threads; the paper's evaluation fixes 5 (§8).
   int uploader_threads = 5;
+  // Per-shard MPSC submit queues feeding the commit pipeline's aggregator.
+  // Concurrent DBMS threads contend only within a shard (writes hash by
+  // (file, page)); a global sequencer keeps batch formation identical
+  // across shard counts. 1 serializes sequencing+enqueue under a mutex —
+  // the single-lock baseline.
+  int submit_shards = 4;
+  // When true, the commit pipeline replaces the fixed TB batch-close poll
+  // with an adaptive deadline steered by the observed PUT round-trip and
+  // write arrival rate (see AdaptiveBatchController); TB stays the hard
+  // upper bound, so S/TS guarantees are unchanged.
+  bool adaptive_batching = false;
   // Objects are split at this size to optimise upload latency (§5.2 fn. 3).
   std::size_t max_object_bytes = 20 * 1024 * 1024;
   // Retry policy (model time) for failed cloud operations: jittered
   // exponential backoff starting at retry_backoff_us, multiplied per
-  // attempt up to retry_backoff_max_us. The commit pipeline's uploaders
-  // keep the paper's fixed-delay retry (its S-blocking depends on it);
-  // every TransferManager consumer shares the exponential policy.
+  // attempt up to retry_backoff_max_us. One RetryPolicy schedule is shared
+  // by every TransferManager consumer and the commit pipeline's uploaders
+  // (each uploader derives a decorrelated jitter seed from its index).
   std::uint64_t retry_backoff_us = 200'000;
   int max_retries = 100;
   double retry_backoff_multiplier = 2.0;

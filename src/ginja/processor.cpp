@@ -54,7 +54,7 @@ std::uint64_t DbIoProcessor::LogicalWalPage(const std::string& path,
            (file_index - 1) * layout_.PagesPerSegment() +
            offset / layout_.wal_page_size;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(wrap_mu_);
   if (any_wal_write_ && slot < last_slot_) ++epoch_;
   last_slot_ = slot;
   any_wal_write_ = true;
@@ -74,9 +74,13 @@ void DbIoProcessor::OnWalWrite(const FileEvent& event) {
   write.offset = event.offset;
   write.data = event.data;
   write.max_lsn = page * layout_.WalPayloadSize() + used;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    last_wal_frontier_ = std::max(last_wal_frontier_, write.max_lsn);
+  // Lock-free CAS-max keeps the hot WAL path free of the processor mutex;
+  // a lost race means the other writer's larger value already landed.
+  Lsn prev = last_wal_frontier_.load(std::memory_order_relaxed);
+  while (prev < write.max_lsn &&
+         !last_wal_frontier_.compare_exchange_weak(
+             prev, write.max_lsn, std::memory_order_release,
+             std::memory_order_relaxed)) {
   }
   commits_->Submit(std::move(write));
 }
@@ -97,12 +101,8 @@ void DbIoProcessor::OnControlWrite(const FileEvent& event) {
   if (ControlBlock::Decode(event.data.data(), event.data.size(), &block)) {
     redo_lsn = block.checkpoint_lsn;
   }
-  Lsn wal_frontier;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    wal_frontier = last_wal_frontier_;
-  }
-  checkpoints_->OnCheckpointEnd(redo_lsn, wal_frontier);
+  checkpoints_->OnCheckpointEnd(
+      redo_lsn, last_wal_frontier_.load(std::memory_order_acquire));
 }
 
 void DbIoProcessor::OnFileEvent(const FileEvent& event) {

@@ -20,6 +20,7 @@
 // collector needs (see object_id.h).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 
@@ -53,13 +54,17 @@ class DbIoProcessor : public FileEventListener {
   CommitPipeline* commits_;
   CheckpointPipeline* checkpoints_;
 
-  std::mutex mu_;
+  // Only the circular-log wrap-epoch bookkeeping needs a mutex; the
+  // Postgres WAL path never takes it, so concurrent client threads reach
+  // the commit pipeline's sharded Submit without serializing here.
+  std::mutex wrap_mu_;
   std::uint64_t last_slot_ = 0;
   std::uint64_t epoch_ = 0;
   bool any_wal_write_ = false;
   // Highest WAL-stream position seen; checkpoint pages cannot contain
   // newer data, so this gates the DB-object upload (prefix guarantee).
-  Lsn last_wal_frontier_ = 0;
+  // CAS-max updated by WAL writers, read by the control-write path.
+  std::atomic<Lsn> last_wal_frontier_{0};
   Counter unclassified_;
 };
 

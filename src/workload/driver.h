@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "ginja/commit_pipeline.h"
 #include "workload/tpcc.h"
 
 namespace ginja {
@@ -43,5 +44,40 @@ TpccRunResult RunTpcc(TpccWorkload& workload, const TpccRunOptions& options);
 Status RunSimpleUpdates(Database& db, const std::string& table,
                         std::uint64_t count, std::size_t payload_bytes,
                         std::uint64_t seed = 7);
+
+// Multi-threaded WAL-ingestion driver: hammers CommitPipeline::Submit from
+// `threads` concurrent clients, isolating the ingestion front end from the
+// rest of the engine (no SQL, no interception). Each thread writes its own
+// WAL segment, round-robining over `pages_per_thread` page offsets so the
+// aggregator's coalescing stays hot, with a globally increasing max_lsn.
+struct IngestOptions {
+  int threads = 1;
+  std::uint64_t writes_per_thread = 100'000;
+  std::size_t write_bytes = 256;
+  std::uint64_t pages_per_thread = 8;
+  std::uint64_t seed = 7;
+};
+
+struct IngestResult {
+  std::uint64_t writes = 0;
+  // Submit phase only: all client threads joined (every Submit returned).
+  // This is the ingestion front end's throughput — what sharding targets.
+  double submit_seconds = 0;
+  // Submit phase plus Drain(): includes aggregation and uploads, which are
+  // shared machinery across shard configurations.
+  double total_seconds = 0;
+
+  double SubmittedWritesPerSec() const {
+    return submit_seconds <= 0 ? 0
+                               : static_cast<double>(writes) / submit_seconds;
+  }
+  double EndToEndWritesPerSec() const {
+    return total_seconds <= 0 ? 0
+                              : static_cast<double>(writes) / total_seconds;
+  }
+};
+
+IngestResult RunWalIngest(CommitPipeline& pipeline,
+                          const IngestOptions& options);
 
 }  // namespace ginja

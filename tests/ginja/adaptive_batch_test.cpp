@@ -1,0 +1,137 @@
+// AdaptiveBatchController unit tests (timestamps are synthetic model-time
+// micros, so the regime convergence is deterministic), plus a pipeline
+// smoke test showing the adaptive deadline beats a pure-TB flush. The
+// smoke suite name matches the TSAN CI job's *Pipeline* filter.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "cloud/memory_store.h"
+#include "ginja/commit_pipeline.h"
+
+namespace ginja {
+namespace {
+
+constexpr std::size_t kB = 100;
+constexpr std::uint64_t kTb = 1'000'000;  // 1 s
+constexpr int kUploaders = 5;
+
+TEST(AdaptiveBatchController, ColdStartClosesImmediately) {
+  AdaptiveBatchController c(kB, kTb, kUploaders);
+  EXPECT_EQ(c.CloseDeadlineUs(), 0u);
+  EXPECT_EQ(c.TargetBatch(), 1u);
+  // RTT alone (no arrival rate yet) must not start delaying batches.
+  c.RecordPutRtt(10'000);
+  EXPECT_EQ(c.CloseDeadlineUs(), 0u);
+}
+
+TEST(AdaptiveBatchController, HighLoadConvergesToFullBatches) {
+  AdaptiveBatchController c(kB, kTb, kUploaders);
+  std::uint64_t now = 1;
+  for (int i = 0; i < 50; ++i) {
+    c.RecordPutRtt(10'000);           // R = 10 ms
+    c.RecordArrivals(1'000, now);     // λ -> 1 write/us
+    now += 1'000;
+  }
+  // λ·R/K = 1·10000/5 = 2000 >> B: batches close full.
+  EXPECT_EQ(c.TargetBatch(), kB);
+  const std::uint64_t deadline = c.CloseDeadlineUs();
+  EXPECT_GT(deadline, 0u);
+  EXPECT_LE(deadline, kTb);
+  EXPECT_EQ(deadline, 2'000u);  // R/K
+}
+
+TEST(AdaptiveBatchController, LowLoadShipsImmediately) {
+  AdaptiveBatchController c(kB, kTb, kUploaders);
+  std::uint64_t now = 1;
+  for (int i = 0; i < 50; ++i) {
+    c.RecordPutRtt(10'000);
+    c.RecordArrivals(1, now);  // one write per 100 ms
+    now += 100'000;
+  }
+  // λ·R/K = 1e-5 · 10000 / 5 << 1: the uploaders keep up with singleton
+  // batches, so waiting would only add latency.
+  EXPECT_EQ(c.CloseDeadlineUs(), 0u);
+  EXPECT_EQ(c.TargetBatch(), 1u);
+}
+
+TEST(AdaptiveBatchController, DeadlineNeverExceedsTb) {
+  AdaptiveBatchController c(kB, kTb, /*uploader_threads=*/1);
+  std::uint64_t now = 1;
+  for (int i = 0; i < 50; ++i) {
+    c.RecordPutRtt(3'600'000'000);  // an hour-long PUT round-trip
+    c.RecordArrivals(1'000, now);
+    now += 1'000;
+  }
+  // R/K is astronomical; TB stays the hard cap (the S/TS guarantees are
+  // derived assuming batches never linger past TB).
+  EXPECT_EQ(c.CloseDeadlineUs(), kTb);
+}
+
+TEST(AdaptiveBatchController, ConvergesAcrossRegimeSwitches) {
+  AdaptiveBatchController c(kB, kTb, kUploaders);
+  std::uint64_t now = 1;
+  // Phase 1: saturating load -> batching regime.
+  for (int i = 0; i < 50; ++i) {
+    c.RecordPutRtt(10'000);
+    c.RecordArrivals(1'000, now);
+    now += 1'000;
+  }
+  EXPECT_GT(c.CloseDeadlineUs(), 0u);
+  EXPECT_EQ(c.TargetBatch(), kB);
+  // Phase 2: the load vanishes (idle aggregator rounds report 0 arrivals).
+  for (int i = 0; i < 60; ++i) {
+    c.RecordArrivals(0, now);
+    now += 1'000;
+  }
+  EXPECT_EQ(c.CloseDeadlineUs(), 0u);
+  EXPECT_EQ(c.TargetBatch(), 1u);
+  // Phase 3: load returns -> back to batching.
+  for (int i = 0; i < 60; ++i) {
+    c.RecordPutRtt(10'000);
+    c.RecordArrivals(1'000, now);
+    now += 1'000;
+  }
+  EXPECT_GT(c.CloseDeadlineUs(), 0u);
+  EXPECT_EQ(c.TargetBatch(), kB);
+}
+
+// With adaptive batching on, a trickle of writes must not wait out a huge
+// TB: the controller ships partial batches immediately at low load. (The
+// fixed-TB pipeline would sit on these writes for the full 10 s.)
+TEST(CommitPipelineAdaptive, TrickleDoesNotWaitForTb) {
+  auto store = std::make_shared<MemoryStore>();
+  auto view = std::make_shared<CloudView>();
+  auto clock = std::make_shared<RealClock>();
+  auto envelope = std::make_shared<Envelope>(EnvelopeOptions{});
+  GinjaConfig config;
+  config.adaptive_batching = true;
+  config.batch = 50;
+  config.batch_timeout_us = 10'000'000;
+  config.safety = 1'000;
+  auto pipeline = std::make_unique<CommitPipeline>(store, view, clock, config,
+                                                   envelope);
+  pipeline->Start();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 5; ++i) {
+    WalWrite w;
+    w.file = "pg_xlog/0001";
+    w.offset = static_cast<std::uint64_t>(i) * 8192;
+    w.data = Bytes(512, 0x42);
+    w.max_lsn = static_cast<std::uint64_t>(i + 1) * 10;
+    pipeline->Submit(std::move(w));
+  }
+  pipeline->Drain();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  pipeline->Stop();
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 5.0);
+  EXPECT_EQ(pipeline->stats().writes_submitted.Get(), 5u);
+  EXPECT_GE(pipeline->stats().objects_uploaded.Get(), 1u);
+  EXPECT_GT(pipeline->stats().batches_closed_deadline.Get(), 0u);
+  EXPECT_EQ(pipeline->UploadedWalFrontier(), 50u);
+  // Commit latency was measured for every write.
+  EXPECT_EQ(pipeline->stats().commit_latency_us.Snapshot().count, 5u);
+}
+
+}  // namespace
+}  // namespace ginja
