@@ -127,6 +127,12 @@ inline std::unique_ptr<Stack> BuildStack(DbFlavor flavor, Mode mode,
         std::make_shared<LatencyModel>(latency, stack->clock);
     stack->store = std::make_shared<MeteredStore>(stack->raw_store,
                                                   stack->clock, latency_model);
+    // When the bench shares an Observability bundle, the cloud usage and
+    // accrued-dollars gauges ride in the same snapshot as the pipelines'.
+    if (config.obs) {
+      stack->store->RegisterMetrics(&config.obs->registry,
+                                    PriceBook::AmazonS3May2017());
+    }
     stack->ginja = std::make_unique<Ginja>(stack->local, stack->store,
                                            stack->clock, layout, config);
     if (!stack->ginja->Boot().ok()) return nullptr;

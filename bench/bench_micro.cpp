@@ -12,15 +12,19 @@
 #include <utility>
 #include <vector>
 
+#include "cloud/memory_store.h"
 #include "common/codec/aes128.h"
 #include "common/codec/envelope.h"
 #include "common/codec/hmac.h"
 #include "common/codec/lzss.h"
 #include "common/codec/sha1.h"
 #include "common/rng.h"
+#include "common/stats.h"
 #include "db/wal.h"
 #include "fs/mem_fs.h"
 #include "ginja/coalesce.h"
+#include "ginja/commit_pipeline.h"
+#include "obs/obs.h"
 
 namespace ginja {
 namespace {
@@ -259,6 +263,108 @@ BENCHMARK(BM_CoalesceBatchMap)
     ->Args({1000, 32})
     ->Args({1000, 1024})
     ->Args({100, 16});
+
+// -- observability primitives -------------------------------------------------
+
+// The lock-free Histogram under contention: every pipeline stat and trace
+// stage records through this path, so it must scale with recorder threads.
+void BM_HistogramRecord(benchmark::State& state) {
+  static Histogram hist;  // shared across the benchmark's threads
+  double v = 1;
+  for (auto _ : state) {
+    hist.Record(v);
+    v = v < 4096 ? v * 1.37 : 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord)->Threads(1)->Threads(4);
+
+void BM_MeterRecord(benchmark::State& state) {
+  static Meter meter;
+  double v = 1;
+  for (auto _ : state) {
+    meter.Record(v);
+    v = v < 65536 ? v * 2 : 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeterRecord)->Threads(1)->Threads(4);
+
+// The sampling decision on the submit path (one mix + one modulo).
+void BM_TracerSampled(benchmark::State& state) {
+  TraceOptions options;
+  options.enabled = true;
+  options.sample_period = 64;
+  WriteTracer tracer(options);
+  std::uint64_t id = 0;
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    hits += tracer.Sampled(++id);
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerSampled);
+
+// The cost of one sampled span event (histogram + ring under its mutex).
+void BM_TracerRecord(benchmark::State& state) {
+  TraceOptions options;
+  options.enabled = true;
+  WriteTracer tracer(options);
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    tracer.Record(TraceStage::kPut, t, t, 42);
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerRecord);
+
+// End-to-end Submit ingest with the tracer in each of its three states:
+//   0 = no Observability bundle attached at all
+//   1 = bundle attached, tracer disabled (the production default)
+//   2 = tracing at 1/64 sampling
+//   3 = tracing every write
+// The acceptance bar: 2 costs < 3% over 0, and 1 is indistinguishable.
+void BM_SubmitIngest(benchmark::State& state) {
+  GinjaConfig config;
+  config.batch = 64;
+  config.safety = 1u << 30;  // never block: measure ingest, not the cloud
+  config.uploader_threads = 2;
+  std::shared_ptr<Observability> obs;
+  if (state.range(0) > 0) {
+    TraceOptions trace;
+    trace.enabled = state.range(0) >= 2;
+    trace.sample_period = state.range(0) == 3 ? 1 : 64;
+    obs = std::make_shared<Observability>(trace);
+    config.obs = obs;
+  }
+  auto store = std::make_shared<MemoryStore>();
+  auto view = std::make_shared<CloudView>();
+  auto clock = std::make_shared<RealClock>();
+  auto envelope = std::make_shared<Envelope>(EnvelopeOptions{});
+  CommitPipeline pipeline(store, view, clock, config, envelope);
+  pipeline.Start();
+
+  WalWrite proto;
+  proto.file = "pg_xlog/000000010000000000000010";
+  proto.data = Bytes(512, 'x');
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    WalWrite w = proto;
+    w.offset = (i % 1024) * 8192;
+    w.max_lsn = ++i * 10;
+    pipeline.Submit(std::move(w));
+  }
+  state.SetItemsProcessed(state.iterations());
+  pipeline.Stop();
+}
+BENCHMARK(BM_SubmitIngest)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kNanosecond);
 
 }  // namespace
 }  // namespace ginja

@@ -1,0 +1,122 @@
+// Observability smoke: a short traced TPC-C run through the full stack,
+// exercising every layer of the obs subsystem in one go — the tracer's
+// latency decomposition, the DR gauges, the accrued cloud bill, the
+// background SnapshotFlusher, and one real scrape of the HTTP endpoint.
+//
+// Emits a machine-readable `OBS_SNAPSHOT {json}` line; CI extracts it and
+// validates the snapshot against ci/metrics_schema.json.
+#include <atomic>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cloud/s3/http_socket.h"
+#include "obs/exporter.h"
+#include "obs/http_endpoint.h"
+
+namespace ginja::bench {
+namespace {
+
+double GaugeOr(const MetricsSnapshot& snap, std::string_view name,
+               double fallback = 0) {
+  const MetricSample* sample = snap.Find(name);
+  return sample == nullptr ? fallback : sample->gauge;
+}
+
+void PrintDecomposition(const MetricsSnapshot& snap) {
+  std::printf("\n%-18s %10s %10s %10s %10s\n", "stage", "count", "p50_us",
+              "p95_us", "p99_us");
+  int stages_with_data = 0;
+  for (int i = 0; i < kTraceStageCount; ++i) {
+    const char* stage = TraceStageName(static_cast<TraceStage>(i));
+    const MetricSample* sample =
+        snap.Find("ginja_stage_latency_us", {{"stage", stage}});
+    if (sample == nullptr || sample->hist.count == 0) continue;
+    ++stages_with_data;
+    std::printf("%-18s %10llu %10.0f %10.0f %10.0f\n", stage,
+                static_cast<unsigned long long>(sample->hist.count),
+                sample->hist.p50, sample->hist.p95, sample->hist.p99);
+  }
+  const MetricSample* commit = snap.Find("ginja_commit_latency_us");
+  if (commit != nullptr) {
+    std::printf("%-18s %10llu %10.0f %10.0f %10.0f\n", "commit (e2e)",
+                static_cast<unsigned long long>(commit->hist.count),
+                commit->hist.p50, commit->hist.p95, commit->hist.p99);
+  }
+  std::printf("(%d trace stages populated)\n", stages_with_data);
+}
+
+int Run() {
+  TraceOptions trace;
+  trace.enabled = true;
+  trace.sample_period = 8;  // 1-in-8: dense enough for a short run
+  auto obs = std::make_shared<Observability>(trace);
+
+  GinjaConfig config;
+  config.batch = 8;
+  config.safety = 128;
+  config.batch_timeout_us = 50'000;
+  config.uploader_threads = 3;
+  config.obs = obs;
+
+  auto stack = BuildStack(DbFlavor::kPostgres, Mode::kGinja, config);
+  if (!stack) {
+    std::fprintf(stderr, "stack construction failed\n");
+    return 1;
+  }
+
+  PrintHeader("Observability smoke: traced TPC-C, snapshot, endpoint scrape");
+
+  // The periodic exporter runs for the whole workload.
+  std::atomic<std::uint64_t> flushed_metrics{0};
+  SnapshotFlusher flusher(&obs->registry, /*interval_ms=*/100,
+                          [&](const MetricsSnapshot& snap) {
+                            flushed_metrics.store(snap.samples.size());
+                          });
+  flusher.Start();
+  const TpccBenchResult result = RunTpccBench(*stack, /*model_seconds=*/20.0);
+  stack->ginja->Stop();  // drain: every traced write completes its lifecycle
+  flusher.Stop();
+
+  std::printf("TPC-C: %llu txns, %.1f model-s, tpmC %.0f\n",
+              static_cast<unsigned long long>(result.run.total_txns),
+              result.model_seconds, result.TpmC());
+  std::printf("exporter: %llu flushes, %llu series in the last snapshot\n",
+              static_cast<unsigned long long>(flusher.flushes()),
+              static_cast<unsigned long long>(flushed_metrics.load()));
+
+  const MetricsSnapshot snap =
+      obs->registry.Snapshot(stack->clock->NowMicros());
+  PrintDecomposition(snap);
+
+  std::printf("\nRPO exposure %d/%d writes, accrued bill $%.6f, outage %s\n",
+              static_cast<int>(GaugeOr(snap, "ginja_rpo_exposure_writes")),
+              static_cast<int>(GaugeOr(snap, "ginja_rpo_limit_writes")),
+              GaugeOr(snap, "ginja_cost_accrued_dollars"),
+              GaugeOr(snap, "ginja_cloud_outage") == 0 ? "no" : "YES");
+
+  // One real scrape through the socket endpoint.
+  ObsHttpServer server(obs);
+  if (server.status().ok()) {
+    HttpSocketClient client("127.0.0.1", server.port());
+    HttpRequest request;
+    request.method = "GET";
+    request.path = "/metrics";
+    auto response = client.RoundTrip(request);
+    if (response.ok()) {
+      std::printf("GET 127.0.0.1:%d/metrics -> %d (%zu bytes)\n",
+                  server.port(), response->status, response->body.size());
+    }
+  }
+
+  // Machine-readable outputs: the JSON snapshot line CI validates, then the
+  // Prometheus exposition for eyeballing.
+  std::printf("\nOBS_SNAPSHOT %s\n", snap.ToJson().c_str());
+  std::printf("\n-- prometheus exposition -----------------------------------\n");
+  std::fputs(snap.ToPrometheus().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ginja::bench
+
+int main() { return ginja::bench::Run(); }

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Validate an OBS_SNAPSHOT metrics snapshot against ci/metrics_schema.json.
+
+Usage: check_metrics_schema.py <schema.json> <snapshot.json>
+
+Standard library only (CI runners and dev machines both have python3; the
+schema is deliberately simple enough not to need the jsonschema package).
+Exit status is non-zero when the snapshot violates the schema, with one
+line per violation on stderr.
+"""
+import json
+import re
+import sys
+
+
+def fail(errors):
+    for err in errors:
+        print("metrics-schema: " + err, file=sys.stderr)
+    print(f"metrics-schema: FAILED with {len(errors)} violation(s)",
+          file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    with open(sys.argv[1]) as f:
+        schema = json.load(f)
+    with open(sys.argv[2]) as f:
+        snapshot = json.load(f)
+
+    errors = []
+
+    for key in schema["required_top_level"]:
+        if key not in snapshot:
+            errors.append(f"missing top-level key '{key}'")
+    metrics = snapshot.get("metrics")
+    if not isinstance(metrics, list) or not metrics:
+        fail(errors + ["'metrics' must be a non-empty array"])
+
+    name_re = re.compile(schema["name_pattern"])
+    sample_keys = schema["sample_keys"]
+    seen = set()  # (name, kind)
+    populated_stages = set()
+    for i, sample in enumerate(metrics):
+        where = f"metrics[{i}]"
+        for key in sample_keys["all"]:
+            if key not in sample:
+                errors.append(f"{where}: missing key '{key}'")
+        name = sample.get("name", "")
+        kind = sample.get("kind", "")
+        where = f"metrics[{i}] ({name})"
+        if not name_re.match(name):
+            errors.append(f"{where}: name does not match "
+                          f"{schema['name_pattern']}")
+        if not isinstance(sample.get("labels"), dict):
+            errors.append(f"{where}: 'labels' must be an object")
+        if kind not in sample_keys or kind == "all":
+            errors.append(f"{where}: unknown kind '{kind}'")
+            continue
+        for key in sample_keys[kind]:
+            if key not in sample:
+                errors.append(f"{where}: {kind} sample missing '{key}'")
+            elif not isinstance(sample[key], (int, float)):
+                errors.append(f"{where}: '{key}' must be numeric")
+        seen.add((name, kind))
+        if (name == "ginja_stage_latency_us" and
+                sample.get("count", 0) > 0):
+            populated_stages.add(sample["labels"].get("stage", f"#{i}"))
+
+    for want in schema["required_metrics"]:
+        if (want["name"], want["kind"]) not in seen:
+            errors.append(f"required metric missing: {want['name']} "
+                          f"({want['kind']})")
+
+    min_stages = schema["min_populated_stage_series"]
+    if len(populated_stages) < min_stages:
+        errors.append(
+            f"latency decomposition too thin: {len(populated_stages)} "
+            f"populated ginja_stage_latency_us series "
+            f"({sorted(populated_stages)}), need >= {min_stages}")
+
+    if errors:
+        fail(errors)
+    print(f"metrics-schema: OK — {len(metrics)} series, "
+          f"{len(populated_stages)} populated trace stages "
+          f"({', '.join(sorted(populated_stages))})")
+
+
+if __name__ == "__main__":
+    main()

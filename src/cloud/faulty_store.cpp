@@ -5,6 +5,24 @@ namespace ginja {
 FaultyStore::FaultyStore(ObjectStorePtr inner, std::uint64_t seed)
     : inner_(std::move(inner)), rng_(seed) {}
 
+FaultyStore::~FaultyStore() {
+  if (registry_) registry_->Unregister(this);
+}
+
+void FaultyStore::RegisterMetrics(MetricsRegistry* registry) {
+  if (registry_) registry_->Unregister(this);
+  registry_ = registry;
+  if (!registry_) return;
+  registry_->RegisterGauge(this, "ginja_cloud_outage", {}, [this] {
+    return available_.load() ? 0.0 : 1.0;
+  });
+  registry_->RegisterGauge(this, "ginja_cloud_injected_failures", {}, [this] {
+    return static_cast<double>(injected_failures_.load());
+  });
+  registry_->RegisterGauge(this, "ginja_cloud_failure_probability", {},
+                           [this] { return failure_probability_.load(); });
+}
+
 bool FaultyStore::ShouldFail() {
   if (!available_.load()) {
     ++injected_failures_;

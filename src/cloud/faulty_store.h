@@ -11,6 +11,7 @@
 
 #include "cloud/object_store.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace ginja {
 
@@ -29,6 +30,13 @@ class FaultyStore : public ObjectStore {
 
   std::uint64_t injected_failures() const { return injected_failures_; }
 
+  // Outage/backoff state gauges (ginja_cloud_outage = 1 during a hard
+  // outage, injected-failure count, current failure probability); undone
+  // automatically by the destructor.
+  void RegisterMetrics(MetricsRegistry* registry);
+
+  ~FaultyStore() override;
+
  private:
   // Returns true if this op should fail.
   bool ShouldFail();
@@ -40,6 +48,7 @@ class FaultyStore : public ObjectStore {
   std::atomic<std::uint64_t> injected_failures_{0};
   std::mutex rng_mu_;
   SplitMix64 rng_;
+  MetricsRegistry* registry_ = nullptr;  // set by RegisterMetrics
 };
 
 }  // namespace ginja

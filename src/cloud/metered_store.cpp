@@ -94,6 +94,54 @@ UsageReport MeteredStore::Usage() const {
   return usage_;
 }
 
+MeteredStore::~MeteredStore() {
+  if (registry_) registry_->Unregister(this);
+}
+
+double MeteredStore::AccruedCost(const PriceBook& prices) const {
+  const UsageReport u = Usage();
+  const double request_cost = static_cast<double>(u.puts) * prices.per_put +
+                              static_cast<double>(u.gets) * prices.per_get +
+                              static_cast<double>(u.lists) * prices.per_put +
+                              static_cast<double>(u.deletes) * prices.per_delete;
+  const double egress_cost =
+      static_cast<double>(u.bytes_downloaded) / kBytesPerGb * prices.egress_gb;
+  const double ingress_cost =
+      static_cast<double>(u.bytes_uploaded) / kBytesPerGb * prices.ingress_gb;
+  // gb_micros / kMicrosPerMonth is GB-months actually held so far.
+  const double storage_cost =
+      u.gb_micros / kMicrosPerMonth * prices.storage_gb_month;
+  return request_cost + egress_cost + ingress_cost + storage_cost;
+}
+
+void MeteredStore::RegisterMetrics(MetricsRegistry* registry,
+                                   const PriceBook& prices) {
+  if (registry_) registry_->Unregister(this);
+  registry_ = registry;
+  if (!registry_) return;
+  registry_->RegisterGauge(this, "ginja_cloud_puts", {}, [this] {
+    return static_cast<double>(Usage().puts);
+  });
+  registry_->RegisterGauge(this, "ginja_cloud_gets", {}, [this] {
+    return static_cast<double>(Usage().gets);
+  });
+  registry_->RegisterGauge(this, "ginja_cloud_deletes", {}, [this] {
+    return static_cast<double>(Usage().deletes);
+  });
+  registry_->RegisterGauge(this, "ginja_cloud_bytes_uploaded", {}, [this] {
+    return static_cast<double>(Usage().bytes_uploaded);
+  });
+  registry_->RegisterGauge(this, "ginja_cloud_bytes_downloaded", {}, [this] {
+    return static_cast<double>(Usage().bytes_downloaded);
+  });
+  registry_->RegisterGauge(this, "ginja_cloud_storage_bytes", {}, [this] {
+    return static_cast<double>(Usage().current_storage_bytes);
+  });
+  registry_->RegisterGauge(this, "ginja_cost_accrued_dollars",
+                           {{"provider", prices.provider}},
+                           [this, prices] { return AccruedCost(prices); });
+}
+
 double MeteredStore::MonthlyCost(const PriceBook& prices,
                                  double window_micros) const {
   const UsageReport u = Usage();

@@ -10,6 +10,7 @@
 #include "cloud/object_store.h"
 #include "cloud/price_book.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
 
 namespace ginja {
 
@@ -49,6 +50,17 @@ class MeteredStore : public ObjectStore {
   // extrapolated to a month.
   double MonthlyCost(const PriceBook& prices, double window_micros) const;
 
+  // Dollars actually accrued so far — the bill-to-date, NOT extrapolated:
+  // requests + egress at list price plus the storage integral's GB-month
+  // fraction. This is what the ginja_cost_accrued_dollars gauge exposes.
+  double AccruedCost(const PriceBook& prices) const;
+
+  // Registers usage gauges (requests, bytes, storage, accrued dollars under
+  // `prices`) into `registry`; undone automatically by the destructor.
+  void RegisterMetrics(MetricsRegistry* registry, const PriceBook& prices);
+
+  ~MeteredStore() override;
+
   const Histogram& put_latency() const { return put_latency_; }
   const Histogram& get_latency() const { return get_latency_; }
   const Meter& put_object_size() const { return put_object_size_; }
@@ -74,6 +86,7 @@ class MeteredStore : public ObjectStore {
   Histogram put_latency_;
   Histogram get_latency_;
   Meter put_object_size_;
+  MetricsRegistry* registry_ = nullptr;  // set by RegisterMetrics
 };
 
 }  // namespace ginja

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/log.h"
+
 namespace ginja {
 
 namespace {
@@ -41,6 +43,7 @@ TransferManager::TransferManager(ObjectStorePtr store, TransferOptions options,
 }
 
 TransferManager::~TransferManager() {
+  if (registry_) registry_->Unregister(this);
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
@@ -52,6 +55,42 @@ TransferManager::~TransferManager() {
   // Fail whatever is still queued (only possible after Cancel raced new
   // submissions, or when futures were dropped mid-shutdown).
   for (auto& op : queue_) Fail(op, Status::Aborted("transfer manager destroyed"));
+}
+
+void TransferManager::RegisterMetrics(MetricsRegistry* registry,
+                                      std::string component) {
+  if (registry_) registry_->Unregister(this);
+  registry_ = registry;
+  if (!registry_) return;
+  const MetricLabels labels = {{"component", std::move(component)}};
+  registry_->RegisterCounter(this, "ginja_transfer_gets_total", labels,
+                             &stats_.gets);
+  registry_->RegisterCounter(this, "ginja_transfer_puts_total", labels,
+                             &stats_.puts);
+  registry_->RegisterCounter(this, "ginja_transfer_deletes_total", labels,
+                             &stats_.deletes);
+  registry_->RegisterCounter(this, "ginja_transfer_retries_total", labels,
+                             &stats_.retries);
+  registry_->RegisterCounter(this, "ginja_transfer_failed_ops_total", labels,
+                             &stats_.failed_ops);
+  registry_->RegisterCounter(this, "ginja_transfer_bytes_downloaded_total",
+                             labels, &stats_.bytes_downloaded);
+  registry_->RegisterCounter(this, "ginja_transfer_bytes_uploaded_total",
+                             labels, &stats_.bytes_uploaded);
+  registry_->RegisterHistogram(this, "ginja_transfer_get_latency_us", labels,
+                               &stats_.get_latency_us);
+  registry_->RegisterHistogram(this, "ginja_transfer_put_latency_us", labels,
+                               &stats_.put_latency_us);
+  registry_->RegisterHistogram(this, "ginja_transfer_delete_latency_us",
+                               labels, &stats_.delete_latency_us);
+  registry_->RegisterGauge(this, "ginja_transfer_inflight", labels, [this] {
+    return static_cast<double>(stats_.inflight.load(std::memory_order_relaxed));
+  });
+  registry_->RegisterGauge(this, "ginja_transfer_peak_inflight", labels,
+                           [this] {
+                             return static_cast<double>(stats_.peak_inflight.load(
+                                 std::memory_order_relaxed));
+                           });
 }
 
 void TransferManager::Fail(Op& op, const Status& status) {
@@ -218,6 +257,11 @@ void TransferManager::Execute(Op& op) {
     }
   }
   stats_.failed_ops.Add();
+  // Cancellation is an orderly shutdown, not an anomaly worth a record.
+  if (last.code() != ErrorCode::kAborted) {
+    Log(LogLevel::kWarn, "transfer", "operation permanently failed",
+        {{"object", op.name}, {"status", last.ToString()}});
+  }
   Fail(op, last);
 }
 

@@ -35,6 +35,7 @@
 #include "common/clock.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
 
 namespace ginja {
 
@@ -134,6 +135,11 @@ class TransferManager {
   const TransferStats& stats() const { return stats_; }
   const TransferOptions& options() const { return options_; }
 
+  // Registers the manager's stats as ginja_transfer_*{component=...}.
+  // The registration is undone automatically by the destructor (or by an
+  // explicit second call with a different registry, which re-homes it).
+  void RegisterMetrics(MetricsRegistry* registry, std::string component);
+
  private:
   struct Op {
     enum class Kind { kGet, kPut, kDelete } kind = Kind::kGet;
@@ -163,6 +169,7 @@ class TransferManager {
   std::vector<std::thread> workers_;
   TransferStats stats_;
   RetryPolicy retry_;  // declared after stats_: it feeds stats_.retries
+  MetricsRegistry* registry_ = nullptr;  // set by RegisterMetrics
 };
 
 }  // namespace ginja

@@ -3,53 +3,84 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace ginja {
 
+namespace detail {
+
+std::size_t ThisThreadStripe() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return stripe;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Meter
+
+Meter::Meter()
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
 void Meter::Record(double v) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (count_ == 0) {
-    min_ = max_ = v;
-  } else {
-    min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
-  }
-  ++count_;
-  sum_ += v;
+  Stripe& s = stripes_[detail::ThisThreadStripe() % kStripes];
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  detail::AtomicAddDouble(s.sum, v);
+  detail::AtomicMinDouble(min_, v);
+  detail::AtomicMaxDouble(max_, v);
 }
 
 std::uint64_t Meter::Count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return count_;
+  std::uint64_t total = 0;
+  for (const Stripe& s : stripes_) {
+    total += s.count.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 double Meter::Sum() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return sum_;
+  double total = 0;
+  for (const Stripe& s : stripes_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 double Meter::Mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+  const std::uint64_t n = Count();
+  return n == 0 ? 0 : Sum() / static_cast<double>(n);
 }
 
 double Meter::Min() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return min_;
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? 0 : v;
 }
 
 double Meter::Max() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return max_;
+  const double v = max_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? 0 : v;
 }
 
 void Meter::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  count_ = 0;
-  sum_ = min_ = max_ = 0;
+  for (Stripe& s : stripes_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+  }
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
 }
 
-Histogram::Histogram() = default;
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
 
 int Histogram::BucketFor(double v) {
   if (v < 1.0) return 0;
@@ -61,56 +92,72 @@ int Histogram::BucketFor(double v) {
 double Histogram::BucketUpper(int b) { return std::pow(1.4, b + 1); }
 
 void Histogram::Record(double v) {
-  std::lock_guard<std::mutex> lock(mu_);
-  counts_[BucketFor(v)]++;
-  ++total_;
-  sum_ += v;
-  max_ = std::max(max_, v);
+  counts_[BucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+  detail::AtomicAddDouble(sums_[detail::ThisThreadStripe() % kStripes].sum, v);
+  detail::AtomicMaxDouble(max_, v);
 }
 
 std::uint64_t Histogram::Count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return total_;
+  std::uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
 }
 
 double Histogram::Mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return total_ == 0 ? 0 : sum_ / static_cast<double>(total_);
+  const std::uint64_t n = Count();
+  if (n == 0) return 0;
+  double sum = 0;
+  for (const Stripe& s : sums_) sum += s.sum.load(std::memory_order_relaxed);
+  return sum / static_cast<double>(n);
 }
 
 double Histogram::Quantile(double q) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (total_ == 0) return 0;
-  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  // One-quantile convenience; Snapshot() when reporting several.
+  std::uint64_t counts[kBuckets];
+  std::uint64_t total = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    counts[b] = counts_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total));
   std::uint64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
-    seen += counts_[b];
+    seen += counts[b];
     if (seen > target) return BucketUpper(b);
   }
-  return max_;
+  return max_.load(std::memory_order_relaxed);
 }
 
-double Histogram::Max() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return max_;
-}
+double Histogram::Max() const { return max_.load(std::memory_order_relaxed); }
 
 HistogramSnapshot Histogram::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Read the buckets once; every quantile below is derived from this one
+  // view, so the snapshot is internally consistent even while concurrent
+  // Records land (they are simply either in or out of this view).
+  std::uint64_t counts[kBuckets];
+  std::uint64_t total = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    counts[b] = counts_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  double sum = 0;
+  for (const Stripe& s : sums_) sum += s.sum.load(std::memory_order_relaxed);
+
   HistogramSnapshot snap;
-  snap.count = total_;
-  snap.mean = total_ == 0 ? 0 : sum_ / static_cast<double>(total_);
-  snap.max = max_;
-  if (total_ == 0) return snap;
+  snap.count = total;
+  snap.mean = total == 0 ? 0 : sum / static_cast<double>(total);
+  snap.max = max_.load(std::memory_order_relaxed);
+  if (total == 0) return snap;
   auto quantile = [&](double q) {
     const auto target =
-        static_cast<std::uint64_t>(q * static_cast<double>(total_));
+        static_cast<std::uint64_t>(q * static_cast<double>(total));
     std::uint64_t seen = 0;
     for (int b = 0; b < kBuckets; ++b) {
-      seen += counts_[b];
+      seen += counts[b];
       if (seen > target) return BucketUpper(b);
     }
-    return max_;
+    return snap.max;
   };
   snap.p50 = quantile(0.50);
   snap.p95 = quantile(0.95);
@@ -119,11 +166,9 @@ HistogramSnapshot Histogram::Snapshot() const {
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::fill(std::begin(counts_), std::end(counts_), 0);
-  total_ = 0;
-  sum_ = 0;
-  max_ = 0;
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  for (Stripe& s : sums_) s.sum.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
 }
 
 std::string HumanCount(double n) {

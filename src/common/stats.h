@@ -3,15 +3,54 @@
 // Benchmarks report the same quantities the paper tables do (PUT counts,
 // object sizes, latencies, Tpm-C / Tpm-Total), all collected through this
 // header so collection is thread-safe and allocation-free on hot paths.
+//
+// Record() is lock-free on Meter and Histogram: bucket counts are relaxed
+// atomics and sums are striped across cache-line-sized slots (a thread
+// writes the stripe assigned to it round-robin at first use), so the
+// tracing layer can hammer these from every pipeline thread without a
+// mutex. Readers (Count/Mean/Quantile/Snapshot) fold the stripes; a read
+// concurrent with writes sees some prefix of them — each returned snapshot
+// is internally consistent (quantiles are computed from exactly the bucket
+// counts the snapshot read). Reset() is NOT atomic against concurrent
+// Record(); interval readers must serialize resets externally (the
+// MetricsRegistry routes ResetAll() through one mutex and a generation
+// number for exactly this).
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
-#include <vector>
 
 namespace ginja {
+
+namespace detail {
+
+// Stripe index for the calling thread: assigned round-robin at first use,
+// so up to kSumStripes concurrent writers never share a sum slot.
+std::size_t ThisThreadStripe();
+
+inline void AtomicAddDouble(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void AtomicMinDouble(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void AtomicMaxDouble(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
 
 class Counter {
  public:
@@ -23,9 +62,12 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
-// Running mean/min/max/sum with exact totals; thread-safe.
+// Running mean/min/max/sum with exact totals; thread-safe, lock-free
+// Record (striped count/sum, CAS min/max).
 class Meter {
  public:
+  Meter();
+
   void Record(double v);
 
   std::uint64_t Count() const;
@@ -33,19 +75,25 @@ class Meter {
   double Mean() const;
   double Min() const;
   double Max() const;
-  void Reset();
+  void Reset();  // racy against concurrent Record; see header comment
 
  private:
-  mutable std::mutex mu_;
-  std::uint64_t count_ = 0;
-  double sum_ = 0;
-  double min_ = 0;
-  double max_ = 0;
+  static constexpr int kStripes = 8;
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0};
+  };
+  Stripe stripes_[kStripes];
+  // Sentinels (+inf / -inf) mean "no records"; accessors report 0 then,
+  // matching the old mutex-based behaviour.
+  std::atomic<double> min_;
+  std::atomic<double> max_;
 };
 
-// One consistent view of a Histogram, taken under a single lock — use this
-// when reporting several quantiles of a live histogram (separate Quantile()
-// calls could straddle concurrent Records).
+// One consistent view of a Histogram: all quantiles are derived from the
+// same set of bucket counts, read once — use this when reporting several
+// quantiles of a live histogram (separate Quantile() calls could straddle
+// concurrent Records).
 struct HistogramSnapshot {
   std::uint64_t count = 0;
   double mean = 0;
@@ -57,6 +105,8 @@ struct HistogramSnapshot {
 
 // Histogram with geometric buckets; supports approximate quantiles. Bounds
 // cover 1 us .. ~1200 s of latency when values are in microseconds.
+// Record is lock-free: one relaxed fetch_add on the bucket, one striped
+// sum add, one CAS max.
 class Histogram {
  public:
   Histogram();
@@ -68,18 +118,20 @@ class Histogram {
   double Quantile(double q) const;
   double Max() const;
   HistogramSnapshot Snapshot() const;
-  void Reset();
+  void Reset();  // racy against concurrent Record; see header comment
 
  private:
   static constexpr int kBuckets = 64;
+  static constexpr int kStripes = 8;
   static int BucketFor(double v);
   static double BucketUpper(int b);
 
-  mutable std::mutex mu_;
-  std::uint64_t counts_[kBuckets] = {};
-  std::uint64_t total_ = 0;
-  double sum_ = 0;
-  double max_ = 0;
+  struct alignas(64) Stripe {
+    std::atomic<double> sum{0};
+  };
+  std::atomic<std::uint64_t> counts_[kBuckets];
+  Stripe sums_[kStripes];
+  std::atomic<double> max_{0};
 };
 
 // Formats n as "1.23k"/"4.5M" style for table output.

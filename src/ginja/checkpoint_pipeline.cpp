@@ -6,6 +6,8 @@
 #include <map>
 #include <utility>
 
+#include "obs/log.h"
+
 namespace ginja {
 
 CheckpointPipeline::CheckpointPipeline(ObjectStorePtr store,
@@ -23,9 +25,38 @@ CheckpointPipeline::CheckpointPipeline(ObjectStorePtr store,
       layout_(layout),
       transfer_(std::make_unique<TransferManager>(
           store_, MakeTransferOptions(config_, config_.transfer_concurrency),
-          clock_)) {}
+          clock_)) {
+  if (config_.obs) {
+    tracer_ = &config_.obs->tracer;
+    RegisterMetrics();
+    transfer_->RegisterMetrics(&config_.obs->registry, "checkpoint");
+  }
+}
 
-CheckpointPipeline::~CheckpointPipeline() { Kill(); }
+CheckpointPipeline::~CheckpointPipeline() {
+  if (config_.obs) config_.obs->registry.Unregister(this);
+  Kill();
+}
+
+void CheckpointPipeline::RegisterMetrics() {
+  MetricsRegistry& r = config_.obs->registry;
+  r.RegisterCounter(this, "ginja_checkpoint_checkpoints_uploaded_total", {},
+                    &stats_.checkpoints_uploaded);
+  r.RegisterCounter(this, "ginja_checkpoint_dumps_uploaded_total", {},
+                    &stats_.dumps_uploaded);
+  r.RegisterCounter(this, "ginja_checkpoint_db_objects_uploaded_total", {},
+                    &stats_.db_objects_uploaded);
+  r.RegisterCounter(this, "ginja_checkpoint_bytes_uploaded_total", {},
+                    &stats_.bytes_uploaded);
+  r.RegisterCounter(this, "ginja_gc_wal_objects_deleted_total", {},
+                    &stats_.wal_objects_deleted);
+  r.RegisterCounter(this, "ginja_gc_db_objects_deleted_total", {},
+                    &stats_.db_objects_deleted);
+  r.RegisterGauge(this, "ginja_checkpoint_inflight_jobs", {}, [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<double>(inflight_jobs_);
+  });
+}
 
 void CheckpointPipeline::Start() {
   thread_ = std::thread([this] { CheckpointerLoop(); });
@@ -248,17 +279,33 @@ void CheckpointPipeline::CheckpointerLoop() {
     // `transfer_concurrency` PUTs are in flight. The object is acked into
     // the view only when *every* part has landed — a partial upload is
     // invisible to recovery (total_parts mismatch) and harmless.
-    std::deque<std::pair<std::future<Status>, std::size_t>> inflight;
+    struct InflightPart {
+      std::future<Status> status;
+      std::size_t size = 0;
+      std::uint64_t submit_us = 0;  // kCheckpointPart span start
+      std::uint64_t trace_id = 0;
+    };
+    std::deque<InflightPart> inflight;
     const std::size_t window =
         static_cast<std::size_t>(std::max(1, config_.transfer_concurrency));
     auto reap_one = [&] {
-      auto [status_future, size] = std::move(inflight.front());
+      InflightPart p = std::move(inflight.front());
       inflight.pop_front();
-      if (status_future.get().ok()) {
+      const Status st = p.status.get();
+      if (st.ok()) {
         stats_.db_objects_uploaded.Add();
-        stats_.bytes_uploaded.Add(size);
+        stats_.bytes_uploaded.Add(p.size);
+        if (Tracing()) {
+          const std::uint64_t now = clock_->NowMicros();
+          tracer_->Record(TraceStage::kCheckpointPart, p.trace_id, p.submit_us,
+                          now >= p.submit_us ? now - p.submit_us : 0);
+        }
       } else {
         all_uploaded = false;
+        if (st.code() != ErrorCode::kAborted) {
+          Log(LogLevel::kWarn, "checkpoint", "part upload failed",
+              {{"status", st.ToString()}});
+        }
       }
     };
     for (std::uint32_t part = 0; part < parts.size() && all_uploaded;
@@ -280,12 +327,31 @@ void CheckpointPipeline::CheckpointerLoop() {
       const std::size_t enveloped_size = enveloped.size();
       while (inflight.size() >= window && all_uploaded) reap_one();
       if (!all_uploaded) break;
-      inflight.emplace_back(transfer_->PutAsync(id.Encode(), std::move(enveloped)),
-                            enveloped_size);
+      InflightPart p;
+      p.size = enveloped_size;
+      p.submit_us = Tracing() ? clock_->NowMicros() : 0;
+      p.trace_id = (seq << 16) | part;
+      p.status = transfer_->PutAsync(id.Encode(), std::move(enveloped));
+      inflight.push_back(std::move(p));
       ids.push_back(id);
     }
     while (!inflight.empty()) reap_one();
-    if (!all_uploaded) continue;  // leave old state; retry naturally later
+    if (!all_uploaded) {
+      bool killed;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        killed = killed_;
+      }
+      // The object stays invisible to recovery (total_parts mismatch); the
+      // next checkpoint retries naturally — but the skip must not be silent
+      // (a kill abandons it on purpose, no record needed).
+      if (!killed) {
+        Log(LogLevel::kWarn, "checkpoint", "incomplete upload, object skipped",
+            {{"seq", seq},
+             {"parts", static_cast<std::uint64_t>(parts.size())}});
+      }
+      continue;  // leave old state; retry naturally later
+    }
 
     for (const auto& id : ids) view_->AddDb(id);
     if (job->type == DbObjectType::kDump) {
@@ -333,17 +399,29 @@ void CheckpointPipeline::GarbageCollect(const DbObjectJob& job,
 
   const std::vector<Status> statuses = transfer_->DeleteAll(names);
   std::size_t i = 0;
+  std::size_t failed = 0;
   for (const auto& wal : wal_victims) {
     if (statuses[i++].ok()) {
       view_->RemoveWal(wal.ts);
       stats_.wal_objects_deleted.Add();
+    } else {
+      ++failed;
     }
   }
   for (const auto& db : db_victims) {
     if (statuses[i++].ok()) {
       view_->RemoveDb(db);
       stats_.db_objects_deleted.Add();
+    } else {
+      ++failed;
     }
+  }
+  // Failed deletes stay in the view and are retried by the next GC pass —
+  // they cost storage dollars in the meantime, so leave a trace.
+  if (failed > 0 && !transfer_->cancelled()) {
+    Log(LogLevel::kWarn, "checkpoint", "garbage collection incomplete",
+        {{"failed_deletes", static_cast<std::uint64_t>(failed)},
+         {"victims", static_cast<std::uint64_t>(names.size())}});
   }
 }
 

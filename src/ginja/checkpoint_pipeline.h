@@ -110,6 +110,8 @@ class CheckpointPipeline {
   void CheckpointerLoop();
   std::vector<FileEntry> BuildDumpEntries() const;
   void GarbageCollect(const DbObjectJob& job, std::uint64_t uploaded_seq);
+  void RegisterMetrics();
+  bool Tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
 
   ObjectStorePtr store_;
   std::shared_ptr<CloudView> view_;
@@ -136,6 +138,7 @@ class CheckpointPipeline {
   BlockingQueue<DbObjectJob> queue_;
   std::thread thread_;
   CheckpointPipelineStats stats_;
+  WriteTracer* tracer_ = nullptr;  // borrowed from config_.obs; may be null
 };
 
 }  // namespace ginja

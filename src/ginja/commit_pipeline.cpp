@@ -5,6 +5,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/log.h"
+
 namespace ginja {
 
 namespace {
@@ -121,9 +123,67 @@ CommitPipeline::CommitPipeline(ObjectStorePtr store,
   }
   last_agg_time_us_ = clock_->NowMicros();
   coarse_now_us_.store(last_agg_time_us_, std::memory_order_release);
+  if (config_.obs) {
+    tracer_ = &config_.obs->tracer;
+    RegisterMetrics();
+  }
 }
 
-CommitPipeline::~CommitPipeline() { Kill(); }
+CommitPipeline::~CommitPipeline() {
+  if (config_.obs) config_.obs->registry.Unregister(this);
+  Kill();
+}
+
+void CommitPipeline::RegisterMetrics() {
+  MetricsRegistry& r = config_.obs->registry;
+  r.RegisterCounter(this, "ginja_commit_writes_submitted_total", {},
+                    &stats_.writes_submitted);
+  r.RegisterCounter(this, "ginja_commit_batches_uploaded_total", {},
+                    &stats_.batches_uploaded);
+  r.RegisterCounter(this, "ginja_commit_objects_uploaded_total", {},
+                    &stats_.objects_uploaded);
+  r.RegisterCounter(this, "ginja_commit_bytes_uploaded_total", {},
+                    &stats_.bytes_uploaded);
+  r.RegisterCounter(this, "ginja_commit_blocked_waits_total", {},
+                    &stats_.blocked_waits);
+  r.RegisterCounter(this, "ginja_commit_upload_retries_total", {},
+                    &stats_.upload_retries);
+  r.RegisterCounter(this, "ginja_commit_batches_closed_full_total", {},
+                    &stats_.batches_closed_full);
+  r.RegisterCounter(this, "ginja_commit_batches_closed_deadline_total", {},
+                    &stats_.batches_closed_deadline);
+  r.RegisterMeter(this, "ginja_commit_object_logical_bytes", {},
+                  &stats_.object_logical_bytes);
+  r.RegisterHistogram(this, "ginja_commit_latency_us", {},
+                      &stats_.commit_latency_us);
+  // -- DR exposure gauges (the paper's loss bound, live) ---------------------
+  r.RegisterGauge(this, "ginja_rpo_exposure_writes", {}, [this] {
+    const std::uint64_t completed =
+        completed_count_.load(std::memory_order_acquire);
+    const std::uint64_t returned =
+        returned_count_.load(std::memory_order_acquire);
+    // completed can transiently lead returned: a write may be acknowledged
+    // before its own Submit call has returned.
+    return completed >= returned ? 0.0
+                                 : static_cast<double>(returned - completed);
+  });
+  r.RegisterGauge(this, "ginja_rpo_limit_writes", {}, [this] {
+    return static_cast<double>(config_.safety);
+  });
+  r.RegisterGauge(this, "ginja_unconfirmed_writes", {}, [this] {
+    return static_cast<double>(Unconfirmed());
+  });
+  r.RegisterGauge(this, "ginja_oldest_unacked_age_us", {}, [this] {
+    const std::uint64_t oldest =
+        oldest_pending_us_.load(std::memory_order_acquire);
+    if (oldest == kNoOldest) return 0.0;
+    const std::uint64_t now = coarse_now_us_.load(std::memory_order_acquire);
+    return now > oldest ? static_cast<double>(now - oldest) : 0.0;
+  });
+  r.RegisterGauge(this, "ginja_wal_frontier_lsn", {}, [this] {
+    return static_cast<double>(frontier_lsn_.load(std::memory_order_acquire));
+  });
+}
 
 void CommitPipeline::Start() {
   threads_.emplace_back([this] { AggregatorLoop(); });
@@ -154,6 +214,11 @@ void CommitPipeline::Stop() {
 
 void CommitPipeline::Kill() {
   if (killed_.exchange(true, std::memory_order_acq_rel)) return;
+  // A kill with unconfirmed writes is the disaster the tracer's flight
+  // recorder exists for: dump the last spans before abandoning them.
+  if (Tracing() && Unconfirmed() > 0 && config_.obs) {
+    config_.obs->DumpFlightRecorder("commit_kill");
+  }
   stopping_.store(true, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(agg_mu_);
@@ -278,17 +343,21 @@ void CommitPipeline::Submit(WalWrite write) {
   // ordering the two), so waiting without a timeout is safe. Time passing
   // alone never unblocks — it only ages the oldest write toward the TS
   // limit.
-  if (!block_fast) return;
-  std::unique_lock<std::mutex> lock(block_mu_);
-  bool blocked = false;
-  while (!killed_.load(std::memory_order_acquire) &&
-         ShouldBlock(clock_->NowMicros())) {
-    if (!blocked) {
-      blocked = true;
-      stats_.blocked_waits.Add();  // counted on entry: observable mid-stall
+  if (block_fast) {
+    std::unique_lock<std::mutex> lock(block_mu_);
+    bool blocked = false;
+    while (!killed_.load(std::memory_order_acquire) &&
+           ShouldBlock(clock_->NowMicros())) {
+      if (!blocked) {
+        blocked = true;
+        stats_.blocked_waits.Add();  // counted on entry: observable mid-stall
+      }
+      unblock_cv_.wait(lock);
     }
-    unblock_cv_.wait(lock);
   }
+  // The write is now "committed" as far as the DBMS can tell — this is the
+  // instant it joins the RPO-exposure window (see ginja_rpo_exposure_writes).
+  returned_count_.fetch_add(1, std::memory_order_release);
 }
 
 void CommitPipeline::Drain() {
@@ -343,6 +412,20 @@ std::size_t CommitPipeline::DrainShards() {
     ++newly;
   }
   if (newly > 0) {
+    if (Tracing()) {
+      // One clock read per drain, and only with the tracer on: the submit
+      // hot path carries zero tracing cost, sampled writes get stamped here.
+      const std::uint64_t now = clock_->NowMicros();
+      for (std::size_t i = staged_.size() - newly; i < staged_.size(); ++i) {
+        Slot& slot = staged_[i];
+        if (!tracer_->Sampled(slot.seq)) continue;
+        slot.traced = true;
+        slot.staged_us = now;
+        tracer_->Record(TraceStage::kSubmit, slot.seq, slot.enqueue_us, 0);
+        tracer_->Record(TraceStage::kStaged, slot.seq, slot.enqueue_us,
+                        now >= slot.enqueue_us ? now - slot.enqueue_us : 0);
+      }
+    }
     // Newly staged writes become TS-visible: publish the oldest pending
     // enqueue time. Writes still inside the rings are invisible to TS for
     // at most ~one poll interval, negligible against TS >= milliseconds.
@@ -390,8 +473,20 @@ void CommitPipeline::AggregatorLoop() {
     if (!staged_.empty()) {
       const std::uint64_t deadline =
           adaptive_ ? adaptive_->CloseDeadlineUs() : config_.batch_timeout_us;
-      if (stopping_.load(std::memory_order_acquire) ||
-          now - last_agg_time_us_ >= deadline) {
+      const bool stop_flush = stopping_.load(std::memory_order_acquire);
+      if (stop_flush) {
+        // Stop() can land mid-pass: writes submitted before the stop but
+        // after this pass's DrainShards are still in the shard queues.
+        // Pick them up before the final flush so shutdown forms the same
+        // full batches a quiescent stop would — batch formation stays
+        // identical across shard counts even when Stop races this loop.
+        DrainShards();
+        while (staged_.size() >= config_.batch) {
+          FormBatch(config_.batch, now, /*closed_full=*/true);
+        }
+      }
+      if ((stop_flush || now - last_agg_time_us_ >= deadline) &&
+          !staged_.empty()) {
         FormBatch(staged_.size(), now, /*closed_full=*/false);
       }
     }
@@ -475,6 +570,21 @@ void CommitPipeline::FormBatch(std::size_t take, std::uint64_t now_us,
                      return a.max_lsn < b.max_lsn;
                    });
 
+  // The batch's trace id is its first sampled write; every object of the
+  // batch carries it, so the decomposition sees each object's PUT.
+  std::uint64_t trace_seq = kNoTrace;
+  if (Tracing()) {
+    for (std::size_t k = 0; k < take; ++k) {
+      if (!staged_[k].traced) continue;
+      tracer_->Record(TraceStage::kBatchClose, staged_[k].seq,
+                      staged_[k].staged_us,
+                      now_us >= staged_[k].staged_us
+                          ? now_us - staged_[k].staged_us
+                          : 0);
+      if (trace_seq == kNoTrace) trace_seq = staged_[k].seq;
+    }
+  }
+
   Batch batch;
   batch.seq = next_batch_seq_++;
   batch.item_count = take;
@@ -503,6 +613,8 @@ void CommitPipeline::FormBatch(std::size_t take, std::uint64_t now_us,
     job.entries = std::move(obj.entries);
     job.data = std::move(obj.data);
     job.nonce = id.ts;
+    job.trace_seq = trace_seq;
+    job.close_us = now_us;
     upload_queue_.Put(std::move(job));
   }
   staged_.erase(staged_.begin(),
@@ -531,18 +643,36 @@ void CommitPipeline::UploaderLoop(int index) {
   Bytes framing;
   Bytes enveloped;
   while (auto job = upload_queue_.Take()) {
+    const bool traced = job->trace_seq != kNoTrace && Tracing();
+    std::uint64_t t_encode = 0;
+    if (traced) {
+      t_encode = clock_->NowMicros();
+      tracer_->Record(TraceStage::kEncodeQueue, job->trace_seq, job->close_us,
+                      t_encode >= job->close_us ? t_encode - job->close_us : 0);
+    }
     const PayloadView payload = EncodeEntriesView(job->entries, framing);
     stats_.object_logical_bytes.Record(static_cast<double>(payload.size()));
     envelope_->EncodeInto(payload, job->nonce, enveloped);
+    if (traced) {
+      const std::uint64_t t_done = clock_->NowMicros();
+      tracer_->Record(TraceStage::kEncode, job->trace_seq, t_encode,
+                      t_done - t_encode);
+    }
     bool uploaded = false;
+    std::uint64_t first_attempt_us = 0;
+    std::uint64_t put_end_us = 0;
+    Status last_status = Status::Ok();
     for (int attempt = 1; attempt <= retry.max_attempts(); ++attempt) {
       const std::uint64_t started = clock_->NowMicros();
+      if (attempt == 1) first_attempt_us = started;
       Status st = store_->Put(job->name, View(enveloped));
       if (st.ok()) {
-        if (adaptive_) adaptive_->RecordPutRtt(clock_->NowMicros() - started);
+        if (adaptive_ || traced) put_end_us = clock_->NowMicros();
+        if (adaptive_) adaptive_->RecordPutRtt(put_end_us - started);
         uploaded = true;
         break;
       }
+      last_status = st;
       if (killed_.load(std::memory_order_acquire) ||
           attempt >= retry.max_attempts() ||
           !RetryPolicy::Retryable(st.code())) {
@@ -554,11 +684,28 @@ void CommitPipeline::UploaderLoop(int index) {
       stats_.objects_uploaded.Add();
       stats_.bytes_uploaded.Add(enveloped.size());
       if (auto id = WalObjectId::Decode(job->name)) view_->AddWal(*id);
+      // kPut covers first attempt → success, retries and backoff included:
+      // it decomposes outage pain, not just the happy-path round-trip.
+      if (traced) {
+        tracer_->Record(TraceStage::kPut, job->trace_seq, first_attempt_us,
+                        put_end_us - first_attempt_us);
+      }
+    } else if (!killed_.load(std::memory_order_acquire)) {
+      // A permanently failed upload outside a kill breaks the recoverable
+      // frontier for good — worth a structured record, not a silent drop.
+      Log(LogLevel::kError, "commit", "upload permanently failed",
+          {{"object", job->name}, {"status", last_status.ToString()}});
     }
     // Acknowledge even on permanent failure so Stop() can complete — but a
     // failed ack freezes the recoverable frontier (UnlockerLoop), so no
     // checkpoint can ever claim WAL coverage across the gap.
-    ack_queue_.ForcePut({job->batch_seq, uploaded});
+    Ack ack;
+    ack.batch_seq = job->batch_seq;
+    ack.uploaded = uploaded;
+    // kAck only makes sense off a successful PUT's end time.
+    ack.trace_seq = (traced && uploaded) ? job->trace_seq : kNoTrace;
+    ack.put_end_us = put_end_us;
+    ack_queue_.ForcePut(std::move(ack));
   }
 }
 
@@ -607,6 +754,13 @@ void CommitPipeline::UnlockerLoop() {
     }
     if (completed > 0) {
       completed_count_.fetch_add(completed, std::memory_order_release);
+    }
+    if (ack->trace_seq != kNoTrace && Tracing()) {
+      tracer_->Record(TraceStage::kAck, ack->trace_seq, ack->put_end_us,
+                      now >= ack->put_end_us ? now - ack->put_end_us : 0);
+      if (advanced) {
+        tracer_->Record(TraceStage::kFrontier, ack->trace_seq, now, 0);
+      }
     }
     // Empty critical section: orders the counter updates above before the
     // notify, so a Submit that just evaluated ShouldBlock under block_mu_

@@ -43,6 +43,7 @@
 #include "ginja/coalesce.h"
 #include "ginja/config.h"
 #include "ginja/payload.h"
+#include "obs/obs.h"
 
 namespace ginja {
 
@@ -163,10 +164,16 @@ class CommitPipeline {
   const CommitPipelineStats& stats() const { return stats_; }
 
  private:
+  static constexpr std::uint64_t kNoTrace = ~std::uint64_t{0};
+
   // A submitted write plus its sequencer stamp and enqueue time.
   struct Slot {
     std::uint64_t seq = 0;
     std::uint64_t enqueue_us = 0;
+    // When the write was staged by the aggregator; set (with traced) only
+    // for writes the tracer sampled, so the submit hot path never pays.
+    std::uint64_t staged_us = 0;
+    bool traced = false;
     WalWrite write;
   };
   struct Batch {
@@ -187,10 +194,16 @@ class CommitPipeline {
     std::vector<FileEntryRef> entries;
     std::vector<Bytes> data;
     std::uint64_t nonce = 0;
+    // Trace id of the batch's first sampled write (kNoTrace when none) and
+    // the batch-close time, the kEncodeQueue span's start.
+    std::uint64_t trace_seq = kNoTrace;
+    std::uint64_t close_us = 0;
   };
   struct Ack {
     std::uint64_t batch_seq = 0;
     bool uploaded = false;
+    std::uint64_t trace_seq = kNoTrace;
+    std::uint64_t put_end_us = 0;  // kAck span start
   };
 
   void AggregatorLoop();
@@ -211,6 +224,11 @@ class CommitPipeline {
   // Sleeps model-time micros in slices, aborting on Kill(); false if killed.
   bool SleepInterruptible(std::uint64_t micros);
 
+  // Registers stats + DR-exposure gauges into config_.obs (no-op when the
+  // config carries no observability bundle).
+  void RegisterMetrics();
+  bool Tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
+
   static constexpr std::uint64_t kNoOldest = ~std::uint64_t{0};
 
   ObjectStorePtr store_;
@@ -222,6 +240,12 @@ class CommitPipeline {
   // -- submit path (DBMS threads) --------------------------------------------
   // Sequencer: seq of the next Submit == count of writes ever submitted.
   std::atomic<std::uint64_t> submit_seq_{0};
+  // Submit calls that have *returned* to the DBMS. The RPO-exposure gauge
+  // is returned - completed: writes the database believes are committed but
+  // the cloud has not yet confirmed — the writes a disaster would lose.
+  // During an outage with continuous submits it reaches exactly S and holds
+  // (Alg. 2 blocks the S+1'th returner).
+  std::atomic<std::uint64_t> returned_count_{0};
   // Writes whose batch has been fully acknowledged (consecutive prefix).
   std::atomic<std::uint64_t> completed_count_{0};
   // Enqueue time of the oldest drained-but-unacknowledged write, or
@@ -290,6 +314,9 @@ class CommitPipeline {
   std::atomic<bool> frontier_broken_{false};
   std::function<void()> frontier_listener_;
   CommitPipelineStats stats_;
+  // Borrowed from config_.obs (which co-owns the bundle); null when the
+  // pipeline runs unobserved.
+  WriteTracer* tracer_ = nullptr;
 };
 
 }  // namespace ginja

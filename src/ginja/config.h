@@ -4,9 +4,11 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 #include "cloud/transfer.h"
 #include "common/codec/envelope.h"
+#include "obs/obs.h"
 
 namespace ginja {
 
@@ -69,6 +71,15 @@ struct GinjaConfig {
   // chunk-parallel envelope encoding of large objects; one CodecPool is
   // shared by the commit and checkpoint pipelines. <= 1 encodes serially.
   int codec_threads = 4;
+
+  // -- observability ---------------------------------------------------------------
+  // Shared metrics registry + write tracer. When null, Ginja creates a
+  // private bundle from `trace` below, so gauges and stage histograms are
+  // always reachable via Ginja::observability(). Standalone pipelines
+  // (constructed directly, outside Ginja) run unobserved when this is null.
+  std::shared_ptr<Observability> obs;
+  // Tracer options used only when `obs` is null and Ginja builds its own.
+  TraceOptions trace;
 
   // -- point-in-time recovery (§5.4) ----------------------------------------------
   // When true, garbage collection keeps superseded objects so the database

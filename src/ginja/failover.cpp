@@ -1,5 +1,7 @@
 #include "ginja/failover.h"
 
+#include "obs/log.h"
+
 namespace ginja {
 
 namespace {
@@ -66,14 +68,22 @@ bool HeartbeatWriter::BeatOnce() {
   auto cloud_epoch = ReadEpoch(*store_, envelope_);
   if (cloud_epoch.ok() && *cloud_epoch > epoch_) {
     fenced_.store(true);
+    Log(LogLevel::kError, "failover", "fenced by a higher epoch",
+        {{"own_epoch", epoch_}, {"cloud_epoch", *cloud_epoch}});
     if (on_fenced_) on_fenced_();
     return false;
   }
   const Bytes payload = EncodeU64Pair(epoch_, ++sequence_);
   const Bytes enveloped =
       envelope_.Encode(View(payload), MetaHeartbeatNonce(sequence_));
-  if (store_->Put(kHeartbeatObject, View(enveloped)).ok()) {
+  const Status st = store_->Put(kHeartbeatObject, View(enveloped));
+  if (st.ok()) {
     beats_.Add();
+  } else {
+    // A missed beat looks like a dead primary to the standby's monitor —
+    // the silent drop this replaces hid exactly the event that matters.
+    Log(LogLevel::kWarn, "failover", "heartbeat put failed",
+        {{"sequence", sequence_}, {"status", st.ToString()}});
   }
   return true;
 }

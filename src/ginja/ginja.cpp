@@ -7,6 +7,7 @@
 
 #include "common/codec/codec_pool.h"
 #include "ginja/payload.h"
+#include "obs/log.h"
 
 namespace ginja {
 
@@ -20,6 +21,12 @@ Ginja::Ginja(VfsPtr local_vfs, ObjectStorePtr store,
       view_(std::make_shared<CloudView>()),
       retention_(std::make_shared<RetentionPolicy>()),
       envelope_(std::make_shared<Envelope>(config.envelope)) {
+  // Every Ginja carries an observability bundle: metrics gauges and stage
+  // histograms are always reachable via observability(), with the tracer
+  // enabled only when the caller's TraceOptions say so.
+  if (!config_.obs) {
+    config_.obs = std::make_shared<Observability>(config_.trace);
+  }
   if (config_.codec_threads > 1) {
     codec_pool_ = std::make_shared<CodecPool>(config_.codec_threads);
     envelope_->SetCodecPool(codec_pool_);
@@ -36,9 +43,13 @@ Ginja::Ginja(VfsPtr local_vfs, ObjectStorePtr store,
   commits_->SetFrontierListener([this] { checkpoints_->NotifyFrontier(); });
   processor_ = std::make_unique<DbIoProcessor>(layout_, commits_.get(),
                                                checkpoints_.get());
+  config_.obs->registry.RegisterGauge(
+      this, "ginja_unclassified_events", {},
+      [this] { return static_cast<double>(processor_->unclassified_events()); });
 }
 
 Ginja::~Ginja() {
+  config_.obs->registry.Unregister(this);
   if (started_ && !stopped_) Kill();
 }
 
@@ -251,9 +262,17 @@ Status Ginja::Recover(ObjectStorePtr store, const GinjaConfig& config,
   // a corrupt object are discarded uncounted, exactly as if never fetched.
   TransferManager transfers(
       store, MakeTransferOptions(config, config.recovery_prefetch), clock);
+  if (config.obs) {
+    transfers.RegisterMetrics(&config.obs->registry, "recovery");
+  }
+  // Fetch/apply spans need timestamps; without a clock recovery runs
+  // untraced (the registry gauges above still work).
+  WriteTracer* tracer = config.obs ? &config.obs->tracer : nullptr;
+  const bool tracing = tracer != nullptr && tracer->enabled() && clock != nullptr;
   const std::size_t window =
       static_cast<std::size_t>(std::max(1, config.recovery_prefetch));
   std::deque<std::future<Result<Bytes>>> inflight;
+  std::deque<std::uint64_t> issue_times;  // parallel to inflight, tracing only
   std::size_t next_issue = 0;
 
   auto apply_blob = [&](Result<Bytes> blob) -> Status {
@@ -275,11 +294,28 @@ Status Ginja::Recover(ObjectStorePtr store, const GinjaConfig& config,
   bool wal_tail_truncated = false;
   for (std::size_t i = 0; i < plan.size(); ++i) {
     while (next_issue < plan.size() && inflight.size() < window) {
+      if (tracing) issue_times.push_back(clock->NowMicros());
       inflight.push_back(transfers.GetAsync(plan[next_issue++].name));
     }
     auto blob = std::move(inflight.front());
     inflight.pop_front();
-    Status st = apply_blob(blob.get());
+    Result<Bytes> fetched = blob.get();
+    std::uint64_t t_fetched = 0;
+    if (tracing) {
+      const std::uint64_t issued = issue_times.front();
+      issue_times.pop_front();
+      t_fetched = clock->NowMicros();
+      // GET issued → blob in hand; overlap with other in-flight GETs means
+      // the sum across objects can exceed the recovery wall time.
+      tracer->Record(TraceStage::kRecoveryFetch, i, issued,
+                     t_fetched >= issued ? t_fetched - issued : 0);
+    }
+    Status st = apply_blob(std::move(fetched));
+    if (tracing) {
+      const std::uint64_t t_applied = clock->NowMicros();
+      tracer->Record(TraceStage::kRecoveryApply, i, t_fetched,
+                     t_applied - t_fetched);
+    }
     if (!plan[i].is_wal) {
       // A failed dump/checkpoint part fails the whole recovery (the DB
       // page state would be incomplete) — as in the serial path.
@@ -299,6 +335,19 @@ Status Ginja::Recover(ObjectStorePtr store, const GinjaConfig& config,
   if (gap_after_plan && !wal_tail_truncated) r.gap_detected = true;
 
   if (clock) r.duration_micros = clock->NowMicros() - started_at;
+  if (r.gap_detected) {
+    // Recovery still succeeded, but the tail past the gap is lost — that's
+    // the bounded S-write loss made concrete, so it gets a record.
+    Log(LogLevel::kWarn, "recovery", "WAL tail truncated at a ts gap",
+        {{"recovered_to_ts", r.recovered_to_ts},
+         {"wal_objects_applied", r.wal_objects_applied}});
+  }
+  Log(LogLevel::kInfo, "recovery", "recovery complete",
+      {{"objects", r.objects_downloaded},
+       {"bytes", r.bytes_downloaded},
+       {"wal_applied", r.wal_objects_applied},
+       {"db_applied", r.db_objects_applied},
+       {"duration_us", r.duration_micros}});
   return Status::Ok();
 }
 

@@ -102,6 +102,10 @@ class Ginja : public FileEventListener {
     return ListRestorePoints(*view_, retention_.get());
   }
 
+  // The metrics/tracing bundle: the one the config supplied, or the private
+  // bundle Ginja created when the config carried none. Never null.
+  ObservabilityPtr observability() const { return config_.obs; }
+
   const CommitPipelineStats& commit_stats() const { return commits_->stats(); }
   const CheckpointPipelineStats& checkpoint_stats() const {
     return checkpoints_->stats();

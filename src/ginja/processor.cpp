@@ -2,6 +2,8 @@
 
 #include <charconv>
 
+#include "obs/log.h"
+
 namespace ginja {
 
 namespace {
@@ -121,6 +123,13 @@ void DbIoProcessor::OnFileEvent(const FileEvent& event) {
       break;
     case FileKind::kOther:
       unclassified_.Add();
+      // Enabled() gate keeps the field construction off the hot path; an
+      // unclassified write is unprotected data, worth knowing when tuning
+      // a layout, but routine for scratch/temp files.
+      if (GlobalLog().Enabled(LogLevel::kDebug)) {
+        Log(LogLevel::kDebug, "processor", "unclassified file event",
+            {{"path", event.path}});
+      }
       break;
   }
 }

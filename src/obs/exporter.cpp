@@ -1,0 +1,59 @@
+#include "obs/exporter.h"
+
+#include "obs/log.h"
+
+namespace ginja {
+
+SnapshotFlusher::SnapshotFlusher(MetricsRegistry* registry,
+                                 std::uint64_t interval_ms, Callback on_flush)
+    : registry_(registry),
+      interval_ms_(interval_ms < 1 ? 1 : interval_ms),
+      on_flush_(std::move(on_flush)) {}
+
+SnapshotFlusher::~SnapshotFlusher() { Stop(); }
+
+void SnapshotFlusher::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void SnapshotFlusher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+  FlushOnce();  // final snapshot so the last interval is never lost
+}
+
+void SnapshotFlusher::FlushOnce() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  const auto now_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+  on_flush_(registry_->Snapshot(now_us));
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SnapshotFlusher::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                     [&] { return stop_; })) {
+      return;
+    }
+    lock.unlock();
+    FlushOnce();
+    lock.lock();
+  }
+}
+
+}  // namespace ginja

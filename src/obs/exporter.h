@@ -1,0 +1,56 @@
+// SnapshotFlusher — the periodic background exporter: every interval it
+// takes one MetricsSnapshot and hands it to a caller-supplied callback
+// (write to a file, append a JSON line to a bench log, push somewhere).
+// Stop() flushes once more so the final partial interval is never lost.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace ginja {
+
+class SnapshotFlusher {
+ public:
+  using Callback = std::function<void(const MetricsSnapshot&)>;
+
+  SnapshotFlusher(MetricsRegistry* registry, std::uint64_t interval_ms,
+                  Callback on_flush);
+  ~SnapshotFlusher();
+
+  SnapshotFlusher(const SnapshotFlusher&) = delete;
+  SnapshotFlusher& operator=(const SnapshotFlusher&) = delete;
+
+  void Start();
+  // Idempotent; joins the thread, then emits one final snapshot.
+  void Stop();
+
+  // Takes and delivers a snapshot immediately (also used by Stop()).
+  void FlushOnce();
+
+  std::uint64_t flushes() const {
+    return flushes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  MetricsRegistry* registry_;
+  const std::uint64_t interval_ms_;
+  Callback on_flush_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_ = false;
+  std::atomic<std::uint64_t> flushes_{0};
+};
+
+}  // namespace ginja

@@ -1,0 +1,54 @@
+#include "obs/http_endpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace ginja {
+
+namespace {
+
+HttpResponse TextResponse(int status, std::string body,
+                          const std::string& content_type) {
+  HttpResponse response;
+  response.status = status;
+  response.headers["content-type"] = content_type;
+  response.body = ToBytes(body);
+  return response;
+}
+
+std::uint64_t WallMicros() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+}
+
+}  // namespace
+
+Result<HttpResponse> ObsHttpHandler::RoundTrip(const HttpRequest& request) {
+  if (request.method != "GET") {
+    return TextResponse(405, "method not allowed\n", "text/plain");
+  }
+  if (request.path == "/metrics") {
+    return TextResponse(200, obs_->registry.Snapshot(WallMicros()).ToPrometheus(),
+                        "text/plain; version=0.0.4");
+  }
+  if (request.path == "/metrics.json") {
+    return TextResponse(200, obs_->registry.Snapshot(WallMicros()).ToJson() + "\n",
+                        "application/json");
+  }
+  if (request.path == "/trace") {
+    std::size_t n = 128;
+    const auto it = request.query.find("n");
+    if (it != request.query.end()) {
+      const long parsed = std::strtol(it->second.c_str(), nullptr, 10);
+      if (parsed > 0) n = static_cast<std::size_t>(parsed);
+    }
+    return TextResponse(200, obs_->tracer.FlightRecorderDump(n), "text/plain");
+  }
+  if (request.path == "/healthz") {
+    return TextResponse(200, "ok\n", "text/plain");
+  }
+  return TextResponse(404, "not found\n", "text/plain");
+}
+
+}  // namespace ginja

@@ -1,0 +1,44 @@
+// A tiny runtime endpoint over the repo's own HTTP socket layer:
+//
+//   GET /metrics       Prometheus text exposition
+//   GET /metrics.json  one-line JSON snapshot
+//   GET /trace         recent trace spans (flight-recorder text); ?n=N
+//   GET /healthz       "ok"
+//
+// ObsHttpHandler is an HttpTransport, so it plugs straight into
+// HttpSocketServer — the same machinery the wire-level S3 pair uses —
+// and is unit-testable without a socket. ObsHttpServer is the one-liner
+// that binds it to 127.0.0.1:<port>.
+#pragma once
+
+#include <memory>
+
+#include "cloud/s3/http_socket.h"
+#include "obs/obs.h"
+
+namespace ginja {
+
+class ObsHttpHandler : public HttpTransport {
+ public:
+  explicit ObsHttpHandler(ObservabilityPtr obs) : obs_(std::move(obs)) {}
+
+  Result<HttpResponse> RoundTrip(const HttpRequest& request) override;
+
+ private:
+  ObservabilityPtr obs_;
+};
+
+class ObsHttpServer {
+ public:
+  // port 0 binds an ephemeral port, available via port() when status() ok.
+  explicit ObsHttpServer(ObservabilityPtr obs, int port = 0)
+      : server_(std::make_shared<ObsHttpHandler>(std::move(obs)), port) {}
+
+  Status status() const { return server_.status(); }
+  int port() const { return server_.port(); }
+
+ private:
+  HttpSocketServer server_;
+};
+
+}  // namespace ginja

@@ -1,0 +1,92 @@
+#include "obs/log.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace ginja {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+std::string FormatLogRecord(const LogRecord& record) {
+  std::string out;
+  out.reserve(64 + record.message.size());
+  out += LogLevelName(record.level)[0];
+  out += " [";
+  out += record.component;
+  out += "] ";
+  out += record.message;
+  for (const auto& field : record.fields) {
+    out += ' ';
+    out += field.key;
+    out += '=';
+    out += field.value;
+  }
+  return out;
+}
+
+void Logger::Log(LogLevel level, std::string_view component,
+                 std::string_view message,
+                 std::initializer_list<LogField> fields) {
+  if (!Enabled(level)) return;
+  LogRecord record;
+  record.level = level;
+  record.component = std::string(component);
+  record.message = std::string(message);
+  record.fields.assign(fields.begin(), fields.end());
+  record.wall_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  records_logged_.fetch_add(1, std::memory_order_relaxed);
+
+  Sink sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.push_back(record);
+    if (ring_.size() > kRingCapacity) ring_.pop_front();
+    sink = sink_;
+  }
+  if (sink) {
+    sink(record);
+  } else {
+    const std::string line = FormatLogRecord(record);
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+void Logger::SetSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+std::vector<std::string> Logger::RecentLines(std::size_t max) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t n = std::min(max, ring_.size());
+  std::vector<std::string> lines;
+  lines.reserve(n);
+  for (std::size_t i = ring_.size() - n; i < ring_.size(); ++i) {
+    lines.push_back(FormatLogRecord(ring_[i]));
+  }
+  return lines;
+}
+
+Logger& GlobalLog() {
+  static Logger* logger = new Logger();  // leaked: outlives static dtors
+  return *logger;
+}
+
+void Log(LogLevel level, std::string_view component, std::string_view message,
+         std::initializer_list<LogField> fields) {
+  GlobalLog().Log(level, component, message, fields);
+}
+
+}  // namespace ginja

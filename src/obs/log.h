@@ -1,0 +1,102 @@
+// Small leveled structured logger: component + severity + key=value fields.
+//
+// Replaces the repo's ad-hoc "silently drop the error" paths (failed GC
+// deletes, incomplete checkpoint part uploads, permanently failed PUTs,
+// heartbeat misses) with one sink. Records go to stderr by default —
+// swappable for tests — and the most recent ones are kept in a bounded
+// in-memory ring that the observability flight recorder dumps alongside
+// the trace spans.
+//
+// The default minimum level is kWarn so tests and benches stay quiet;
+// error paths are rare, so the logger optimizes for "cheap when disabled"
+// (one relaxed atomic load) rather than for throughput.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ginja {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* LogLevelName(LogLevel level);  // "DEBUG" / "INFO" / "WARN" / "ERROR"
+
+struct LogField {
+  std::string key;
+  std::string value;
+
+  LogField(std::string k, std::string v) : key(std::move(k)), value(std::move(v)) {}
+  LogField(std::string k, std::string_view v) : key(std::move(k)), value(v) {}
+  LogField(std::string k, const char* v) : key(std::move(k)), value(v) {}
+  LogField(std::string k, std::uint64_t v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, std::int64_t v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, int v) : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, double v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+};
+
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string component;
+  std::string message;
+  std::vector<LogField> fields;
+  std::uint64_t wall_us = 0;  // wall-clock stamp (CLOCK_REALTIME, us)
+};
+
+// "W [commit] upload failed object=wal/000123 code=UNAVAILABLE"
+std::string FormatLogRecord(const LogRecord& record);
+
+class Logger {
+ public:
+  using Sink = std::function<void(const LogRecord&)>;
+
+  void Log(LogLevel level, std::string_view component,
+           std::string_view message,
+           std::initializer_list<LogField> fields = {});
+
+  void SetMinLevel(LogLevel level) {
+    min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel min_level() const {
+    return static_cast<LogLevel>(min_level_.load(std::memory_order_relaxed));
+  }
+  // Check before building expensive fields for sub-Warn messages.
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >= min_level_.load(std::memory_order_relaxed);
+  }
+
+  // Null restores the stderr sink.
+  void SetSink(Sink sink);
+
+  // Formatted recent records, oldest first, for the flight recorder.
+  std::vector<std::string> RecentLines(std::size_t max = 64) const;
+
+  std::uint64_t records_logged() const { return records_logged_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr std::size_t kRingCapacity = 256;
+
+  std::atomic<int> min_level_{static_cast<int>(LogLevel::kWarn)};
+  std::atomic<std::uint64_t> records_logged_{0};
+  mutable std::mutex mu_;  // guards sink_ and ring_
+  Sink sink_;              // null = stderr
+  std::deque<LogRecord> ring_;
+};
+
+// Process-wide logger; every component in src/ logs through it.
+Logger& GlobalLog();
+
+// Convenience: GlobalLog().Log(...).
+void Log(LogLevel level, std::string_view component, std::string_view message,
+         std::initializer_list<LogField> fields = {});
+
+}  // namespace ginja

@@ -1,0 +1,385 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ginja {
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendNumber(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+void AppendU64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+// Prometheus label set: {a="x",b="y"} (empty string when no labels).
+std::string PromLabels(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    for (char c : v) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') { out += "\\n"; continue; }
+      out += c;
+    }
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+// Same, but with an extra label appended (for quantile series).
+std::string PromLabelsPlus(const MetricLabels& labels, const char* key,
+                           const char* value) {
+  MetricLabels extended = labels;
+  extended.emplace_back(key, value);
+  return PromLabels(extended);
+}
+
+}  // namespace
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+    case MetricKind::kMeter: return "meter";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot serialization
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"generation\":";
+  AppendU64(out, generation);
+  out += ",\"time_us\":";
+  AppendU64(out, time_us);
+  out += ",\"metrics\":[";
+  bool first = true;
+  for (const auto& sample : samples) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += JsonEscape(sample.name);
+    out += '"';
+    // "labels" is always present, even when empty, so consumers can index
+    // into it without existence checks (stable schema).
+    out += ",\"labels\":{";
+    bool first_label = true;
+    for (const auto& [k, v] : sample.labels) {
+      if (!first_label) out += ',';
+      first_label = false;
+      out += '"';
+      out += JsonEscape(k);
+      out += "\":\"";
+      out += JsonEscape(v);
+      out += '"';
+    }
+    out += '}';
+    out += ",\"kind\":\"";
+    out += MetricKindName(sample.kind);
+    out += '"';
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        out += ",\"value\":";
+        AppendU64(out, sample.counter);
+        break;
+      case MetricKind::kGauge:
+        out += ",\"value\":";
+        AppendNumber(out, sample.gauge);
+        break;
+      case MetricKind::kHistogram:
+        out += ",\"count\":";
+        AppendU64(out, sample.hist.count);
+        out += ",\"mean\":";
+        AppendNumber(out, sample.hist.mean);
+        out += ",\"p50\":";
+        AppendNumber(out, sample.hist.p50);
+        out += ",\"p95\":";
+        AppendNumber(out, sample.hist.p95);
+        out += ",\"p99\":";
+        AppendNumber(out, sample.hist.p99);
+        out += ",\"max\":";
+        AppendNumber(out, sample.hist.max);
+        break;
+      case MetricKind::kMeter:
+        out += ",\"count\":";
+        AppendU64(out, sample.meter.count);
+        out += ",\"sum\":";
+        AppendNumber(out, sample.meter.sum);
+        out += ",\"min\":";
+        AppendNumber(out, sample.meter.min);
+        out += ",\"max\":";
+        AppendNumber(out, sample.meter.max);
+        break;
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  std::string last_family;
+  for (const auto& sample : samples) {
+    if (sample.name != last_family) {
+      last_family = sample.name;
+      out += "# TYPE ";
+      out += sample.name;
+      switch (sample.kind) {
+        case MetricKind::kCounter: out += " counter\n"; break;
+        case MetricKind::kGauge: out += " gauge\n"; break;
+        case MetricKind::kHistogram:
+        case MetricKind::kMeter: out += " summary\n"; break;
+      }
+    }
+    const std::string labels = PromLabels(sample.labels);
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        out += sample.name;
+        out += labels;
+        out += ' ';
+        AppendU64(out, sample.counter);
+        out += '\n';
+        break;
+      case MetricKind::kGauge:
+        out += sample.name;
+        out += labels;
+        out += ' ';
+        AppendNumber(out, sample.gauge);
+        out += '\n';
+        break;
+      case MetricKind::kHistogram: {
+        const std::pair<const char*, double> quantiles[] = {
+            {"0.5", sample.hist.p50},
+            {"0.95", sample.hist.p95},
+            {"0.99", sample.hist.p99},
+        };
+        for (const auto& [q, v] : quantiles) {
+          out += sample.name;
+          out += PromLabelsPlus(sample.labels, "quantile", q);
+          out += ' ';
+          AppendNumber(out, v);
+          out += '\n';
+        }
+        out += sample.name;
+        out += "_sum";
+        out += labels;
+        out += ' ';
+        AppendNumber(out, sample.hist.mean * static_cast<double>(sample.hist.count));
+        out += '\n';
+        out += sample.name;
+        out += "_count";
+        out += labels;
+        out += ' ';
+        AppendU64(out, sample.hist.count);
+        out += '\n';
+        break;
+      }
+      case MetricKind::kMeter:
+        out += sample.name;
+        out += "_sum";
+        out += labels;
+        out += ' ';
+        AppendNumber(out, sample.meter.sum);
+        out += '\n';
+        out += sample.name;
+        out += "_count";
+        out += labels;
+        out += ' ';
+        AppendU64(out, sample.meter.count);
+        out += '\n';
+        out += sample.name;
+        out += "_min";
+        out += labels;
+        out += ' ';
+        AppendNumber(out, sample.meter.min);
+        out += '\n';
+        out += sample.name;
+        out += "_max";
+        out += labels;
+        out += ' ';
+        AppendNumber(out, sample.meter.max);
+        out += '\n';
+        break;
+    }
+  }
+  return out;
+}
+
+const MetricSample* MetricsSnapshot::Find(std::string_view name,
+                                          const MetricLabels& labels) const {
+  for (const auto& sample : samples) {
+    if (sample.name != name) continue;
+    bool match = true;
+    for (const auto& want : labels) {
+      if (std::find(sample.labels.begin(), sample.labels.end(), want) ==
+          sample.labels.end()) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return &sample;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+void MetricsRegistry::Add(Entry entry) {
+  std::sort(entry.labels.begin(), entry.labels.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(entry));
+}
+
+void MetricsRegistry::RegisterCounter(const void* owner, std::string name,
+                                      MetricLabels labels, Counter* counter) {
+  Entry e;
+  e.owner = owner;
+  e.name = std::move(name);
+  e.labels = std::move(labels);
+  e.kind = MetricKind::kCounter;
+  e.counter = counter;
+  Add(std::move(e));
+}
+
+void MetricsRegistry::RegisterGauge(const void* owner, std::string name,
+                                    MetricLabels labels,
+                                    std::function<double()> fn) {
+  Entry e;
+  e.owner = owner;
+  e.name = std::move(name);
+  e.labels = std::move(labels);
+  e.kind = MetricKind::kGauge;
+  e.gauge = std::move(fn);
+  Add(std::move(e));
+}
+
+void MetricsRegistry::RegisterHistogram(const void* owner, std::string name,
+                                        MetricLabels labels,
+                                        Histogram* histogram) {
+  Entry e;
+  e.owner = owner;
+  e.name = std::move(name);
+  e.labels = std::move(labels);
+  e.kind = MetricKind::kHistogram;
+  e.histogram = histogram;
+  Add(std::move(e));
+}
+
+void MetricsRegistry::RegisterMeter(const void* owner, std::string name,
+                                    MetricLabels labels, Meter* meter) {
+  Entry e;
+  e.owner = owner;
+  e.name = std::move(name);
+  e.labels = std::move(labels);
+  e.kind = MetricKind::kMeter;
+  e.meter = meter;
+  Add(std::move(e));
+}
+
+void MetricsRegistry::Unregister(const void* owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [owner](const Entry& e) {
+                                  return e.owner == owner;
+                                }),
+                 entries_.end());
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot(std::uint64_t now_us) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.generation = generation_.load(std::memory_order_acquire);
+  snap.time_us = now_us;
+  snap.samples.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    MetricSample sample;
+    sample.name = e.name;
+    sample.labels = e.labels;
+    sample.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        sample.counter = e.counter->Get();
+        break;
+      case MetricKind::kGauge:
+        sample.gauge = e.gauge ? e.gauge() : 0;
+        break;
+      case MetricKind::kHistogram:
+        sample.hist = e.histogram->Snapshot();
+        break;
+      case MetricKind::kMeter:
+        sample.meter.count = e.meter->Count();
+        sample.meter.sum = e.meter->Sum();
+        sample.meter.min = e.meter->Min();
+        sample.meter.max = e.meter->Max();
+        break;
+    }
+    snap.samples.push_back(std::move(sample));
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return snap;
+}
+
+std::uint64_t MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& e : entries_) {
+    switch (e.kind) {
+      case MetricKind::kCounter: e.counter->Reset(); break;
+      case MetricKind::kGauge: break;  // computed, nothing stored
+      case MetricKind::kHistogram: e.histogram->Reset(); break;
+      case MetricKind::kMeter: e.meter->Reset(); break;
+    }
+  }
+  return generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace ginja

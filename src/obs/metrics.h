@@ -1,0 +1,118 @@
+// MetricsRegistry — one place where every stats struct in the repo
+// registers its counters/gauges/histograms under stable, labeled names.
+//
+// Registration is non-owning: a component registers pointers to its live
+// Counter/Histogram/Meter members (or a gauge callback) tagged with an
+// `owner` key, and calls Unregister(owner) from its destructor before the
+// members die. Snapshot() reads every registered metric under the registry
+// mutex and serializes to a one-line JSON object or Prometheus text
+// exposition — the two formats the bench smoke job and the /metrics
+// endpoint emit.
+//
+// ResetAll() zeroes every registered resettable metric and bumps a
+// generation number, all under the same mutex Snapshot() takes: a snapshot
+// can never observe half of an interval reset, and its `generation` field
+// tells interval readers whether a reset happened between two reads (the
+// Counter::Reset/snapshot race the per-struct design had).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace ginja {
+
+enum class MetricKind { kCounter, kGauge, kHistogram, kMeter };
+
+const char* MetricKindName(MetricKind kind);
+
+// Sorted-by-key (k, v) pairs; kept tiny (0–2 labels in practice).
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+struct MeterSnapshotValue {
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+};
+
+struct MetricSample {
+  std::string name;
+  MetricLabels labels;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t counter = 0;      // kCounter
+  double gauge = 0;               // kGauge
+  HistogramSnapshot hist;         // kHistogram
+  MeterSnapshotValue meter;       // kMeter
+};
+
+struct MetricsSnapshot {
+  std::uint64_t generation = 0;
+  std::uint64_t time_us = 0;  // caller-supplied (model or wall time)
+  std::vector<MetricSample> samples;  // sorted by (name, labels)
+
+  // One JSON object on a single line:
+  //   {"generation":0,"time_us":1,"metrics":[{"name":...,"kind":...},...]}
+  std::string ToJson() const;
+  // Prometheus text exposition (histograms/meters as summaries).
+  std::string ToPrometheus() const;
+
+  // First sample with this name (and label subset, if given), or null.
+  const MetricSample* Find(std::string_view name,
+                           const MetricLabels& labels = {}) const;
+};
+
+class MetricsRegistry {
+ public:
+  void RegisterCounter(const void* owner, std::string name,
+                       MetricLabels labels, Counter* counter);
+  void RegisterGauge(const void* owner, std::string name, MetricLabels labels,
+                     std::function<double()> fn);
+  void RegisterHistogram(const void* owner, std::string name,
+                         MetricLabels labels, Histogram* histogram);
+  void RegisterMeter(const void* owner, std::string name, MetricLabels labels,
+                     Meter* meter);
+
+  // Removes every metric registered with this owner key. Components call
+  // this from their destructors, before the registered members die.
+  void Unregister(const void* owner);
+
+  MetricsSnapshot Snapshot(std::uint64_t now_us = 0) const;
+
+  // Zeroes every counter/histogram/meter (gauges are computed, not stored)
+  // and bumps the generation; serialized against Snapshot() by the
+  // registry mutex. Returns the new generation.
+  std::uint64_t ResetAll();
+
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    const void* owner = nullptr;
+    std::string name;
+    MetricLabels labels;
+    MetricKind kind = MetricKind::kCounter;
+    Counter* counter = nullptr;
+    std::function<double()> gauge;
+    Histogram* histogram = nullptr;
+    Meter* meter = nullptr;
+  };
+
+  void Add(Entry entry);
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace ginja

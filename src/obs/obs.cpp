@@ -1,0 +1,20 @@
+#include "obs/obs.h"
+
+namespace ginja {
+
+void Observability::DumpFlightRecorder(std::string_view reason) {
+  Logger& log = GlobalLog();
+  log.Log(LogLevel::kWarn, "obs", "flight recorder dump",
+          {{"reason", reason}});
+  const std::string spans = tracer.FlightRecorderDump();
+  log.Log(LogLevel::kWarn, "obs", spans, {});
+  std::string lines = "recent log lines:\n";
+  for (const std::string& line : log.RecentLines()) {
+    lines += "  ";
+    lines += line;
+    lines += '\n';
+  }
+  log.Log(LogLevel::kWarn, "obs", lines, {});
+}
+
+}  // namespace ginja

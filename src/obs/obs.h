@@ -1,0 +1,37 @@
+// The observability bundle every pipeline shares: one MetricsRegistry and
+// one WriteTracer (the structured logger is process-global; see log.h).
+//
+// GinjaConfig carries a shared_ptr to one of these. Ginja creates a
+// private bundle when the config has none, so gauges and stage histograms
+// are always available through Ginja::observability(); standalone
+// pipelines constructed without one simply run unobserved.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ginja {
+
+struct Observability {
+  Observability() : Observability(TraceOptions{}) {}
+  explicit Observability(const TraceOptions& trace_options)
+      : tracer(trace_options) {
+    tracer.RegisterMetrics(registry, &tracer);
+  }
+
+  MetricsRegistry registry;
+  WriteTracer tracer;
+
+  // Dumps the flight recorder — recent trace spans plus the logger's
+  // recent lines — through the structured logger at kWarn. `reason` is
+  // "kill" / "fault" / "recovery"-style context.
+  void DumpFlightRecorder(std::string_view reason);
+};
+
+using ObservabilityPtr = std::shared_ptr<Observability>;
+
+}  // namespace ginja

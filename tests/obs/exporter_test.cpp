@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cloud/s3/http_socket.h"
+#include "common/stats.h"
+#include "obs/exporter.h"
+#include "obs/http_endpoint.h"
+#include "obs/obs.h"
+
+namespace ginja {
+namespace {
+
+std::string BodyText(const HttpResponse& response) {
+  return std::string(reinterpret_cast<const char*>(response.body.data()),
+                     response.body.size());
+}
+
+TEST(ExporterTest, FlushOnceDeliversAnImmediateSnapshot) {
+  MetricsRegistry registry;
+  Counter counter;
+  counter.Add(9);
+  registry.RegisterCounter(&counter, "flushed_total", {}, &counter);
+
+  std::vector<MetricsSnapshot> seen;
+  SnapshotFlusher flusher(&registry, /*interval_ms=*/1000,
+                          [&](const MetricsSnapshot& snap) {
+                            seen.push_back(snap);
+                          });
+  flusher.FlushOnce();
+  ASSERT_EQ(seen.size(), 1u);
+  ASSERT_NE(seen[0].Find("flushed_total"), nullptr);
+  EXPECT_EQ(seen[0].Find("flushed_total")->counter, 9u);
+  EXPECT_EQ(flusher.flushes(), 1u);
+}
+
+TEST(ExporterTest, PeriodicFlushesAndAFinalOneOnStop) {
+  MetricsRegistry registry;
+  Counter counter;
+  registry.RegisterCounter(&counter, "c", {}, &counter);
+
+  std::mutex mu;
+  std::vector<std::uint64_t> observed;
+  SnapshotFlusher flusher(&registry, /*interval_ms=*/5,
+                          [&](const MetricsSnapshot& snap) {
+                            std::lock_guard<std::mutex> lock(mu);
+                            observed.push_back(snap.Find("c")->counter);
+                          });
+  flusher.Start();
+  counter.Add(3);
+  // Give the loop a few intervals; wall-clock based, so only lower-bound it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  flusher.Stop();
+
+  const std::uint64_t total = flusher.flushes();
+  EXPECT_GE(total, 2u);  // at least one periodic + the final flush on Stop
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(observed.size(), total);
+  // Stop()'s final flush sees the latest state; nothing is lost at the end.
+  EXPECT_EQ(observed.back(), 3u);
+  // Stop is idempotent and does not double-flush.
+  flusher.Stop();
+  EXPECT_EQ(flusher.flushes(), total);
+}
+
+class ObsHttpTest : public ::testing::Test {
+ protected:
+  ObsHttpTest()
+      : obs_(std::make_shared<Observability>()), server_(obs_) {
+    obs_->registry.RegisterCounter(this, "ginja_demo_total", {{"kind", "put"}},
+                                   &demo_);
+    demo_.Add(5);
+  }
+
+  HttpResponse Get(const std::string& path,
+                   std::map<std::string, std::string> query = {}) {
+    HttpSocketClient client("127.0.0.1", server_.port());
+    HttpRequest request;
+    request.method = "GET";
+    request.path = path;
+    request.query = std::move(query);
+    auto response = client.RoundTrip(request);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    return response.ok() ? *response : HttpResponse{};
+  }
+
+  ObservabilityPtr obs_;
+  ObsHttpServer server_;
+  Counter demo_;
+};
+
+TEST_F(ObsHttpTest, ServesPrometheusText) {
+  ASSERT_TRUE(server_.status().ok()) << server_.status().ToString();
+  const HttpResponse response = Get("/metrics");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.headers.at("content-type"), "text/plain; version=0.0.4");
+  const std::string body = BodyText(response);
+  EXPECT_NE(body.find("# TYPE ginja_demo_total counter"), std::string::npos);
+  EXPECT_NE(body.find("ginja_demo_total{kind=\"put\"} 5"), std::string::npos);
+  // The tracer's own series ride along in the same bundle.
+  EXPECT_NE(body.find("ginja_trace_events_total"), std::string::npos);
+}
+
+TEST_F(ObsHttpTest, ServesJsonSnapshot) {
+  const HttpResponse response = Get("/metrics.json");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.headers.at("content-type"), "application/json");
+  const std::string body = BodyText(response);
+  EXPECT_NE(body.find("\"generation\":"), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"ginja_demo_total\""), std::string::npos);
+  EXPECT_EQ(body.back(), '\n');
+}
+
+TEST_F(ObsHttpTest, ServesTraceFlightRecorder) {
+  obs_->tracer.SetEnabled(true);
+  obs_->tracer.Record(TraceStage::kPut, 3, 100, 25);
+  const HttpResponse response = Get("/trace", {{"n", "16"}});
+  EXPECT_EQ(response.status, 200);
+  const std::string body = BodyText(response);
+  EXPECT_NE(body.find("trace flight recorder"), std::string::npos);
+  EXPECT_NE(body.find("stage=put"), std::string::npos);
+}
+
+TEST_F(ObsHttpTest, HealthzAndErrorPaths) {
+  EXPECT_EQ(BodyText(Get("/healthz")), "ok\n");
+  EXPECT_EQ(Get("/nope").status, 404);
+
+  HttpSocketClient client("127.0.0.1", server_.port());
+  HttpRequest post;
+  post.method = "POST";
+  post.path = "/metrics";
+  auto response = client.RoundTrip(post);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 405);
+}
+
+}  // namespace
+}  // namespace ginja

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "obs/metrics.h"
+
+namespace ginja {
+namespace {
+
+// -- MetricsRegistry ------------------------------------------------------------
+
+TEST(MetricsRegistryTest, RoundTrip) {
+  MetricsRegistry registry;
+  Counter counter;
+  Histogram hist;
+  Meter meter;
+  double gauge_value = 42.5;
+  registry.RegisterCounter(&counter, "ops_total", {{"kind", "put"}}, &counter);
+  registry.RegisterGauge(&gauge_value, "pressure", {},
+                         [&] { return gauge_value; });
+  registry.RegisterHistogram(&hist, "latency_us", {}, &hist);
+  registry.RegisterMeter(&meter, "object_bytes", {}, &meter);
+
+  counter.Add(3);
+  for (int i = 1; i <= 100; ++i) hist.Record(static_cast<double>(i));
+  meter.Record(10);
+  meter.Record(30);
+
+  const MetricsSnapshot snap = registry.Snapshot(/*now_us=*/777);
+  EXPECT_EQ(snap.time_us, 777u);
+  EXPECT_EQ(snap.samples.size(), 4u);
+
+  const MetricSample* ops = snap.Find("ops_total", {{"kind", "put"}});
+  ASSERT_NE(ops, nullptr);
+  EXPECT_EQ(ops->kind, MetricKind::kCounter);
+  EXPECT_EQ(ops->counter, 3u);
+
+  const MetricSample* pressure = snap.Find("pressure");
+  ASSERT_NE(pressure, nullptr);
+  EXPECT_DOUBLE_EQ(pressure->gauge, 42.5);
+
+  const MetricSample* latency = snap.Find("latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->hist.count, 100u);
+  EXPECT_GT(latency->hist.p99, latency->hist.p50);
+
+  const MetricSample* bytes = snap.Find("object_bytes");
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_EQ(bytes->meter.count, 2u);
+  EXPECT_DOUBLE_EQ(bytes->meter.sum, 40.0);
+  EXPECT_DOUBLE_EQ(bytes->meter.min, 10.0);
+  EXPECT_DOUBLE_EQ(bytes->meter.max, 30.0);
+
+  EXPECT_EQ(snap.Find("missing"), nullptr);
+  EXPECT_EQ(snap.Find("ops_total", {{"kind", "get"}}), nullptr);
+}
+
+TEST(MetricsRegistryTest, JsonGolden) {
+  MetricsRegistry registry;
+  Counter counter;
+  counter.Add(7);
+  double g = 1.5;
+  registry.RegisterCounter(&counter, "b_counter", {{"x", "y"}}, &counter);
+  registry.RegisterGauge(&g, "a_gauge", {}, [&] { return g; });
+
+  const std::string json = registry.Snapshot(12).ToJson();
+  // Samples are sorted by name, so the serialization is fully deterministic.
+  EXPECT_EQ(json,
+            "{\"generation\":0,\"time_us\":12,\"metrics\":["
+            "{\"name\":\"a_gauge\",\"labels\":{},\"kind\":\"gauge\","
+            "\"value\":1.5},"
+            "{\"name\":\"b_counter\",\"labels\":{\"x\":\"y\"},"
+            "\"kind\":\"counter\",\"value\":7}]}");
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusGolden) {
+  MetricsRegistry registry;
+  Counter counter;
+  counter.Add(7);
+  double g = 2.0;
+  registry.RegisterCounter(&counter, "b_counter", {{"x", "y"}}, &counter);
+  registry.RegisterGauge(&g, "a_gauge", {}, [&] { return g; });
+
+  const std::string text = registry.Snapshot().ToPrometheus();
+  EXPECT_NE(text.find("# TYPE a_gauge gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("a_gauge 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE b_counter counter\n"), std::string::npos);
+  EXPECT_NE(text.find("b_counter{x=\"y\"} 7\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusHistogramSummary) {
+  MetricsRegistry registry;
+  Histogram hist;
+  for (int i = 1; i <= 1000; ++i) hist.Record(static_cast<double>(i));
+  registry.RegisterHistogram(&hist, "lat", {{"stage", "put"}}, &hist);
+  const std::string text = registry.Snapshot().ToPrometheus();
+  EXPECT_NE(text.find("lat{stage=\"put\",quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat{stage=\"put\",quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_count{stage=\"put\"} 1000\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetAllBumpsGeneration) {
+  MetricsRegistry registry;
+  Counter counter;
+  Histogram hist;
+  Meter meter;
+  registry.RegisterCounter(&counter, "c", {}, &counter);
+  registry.RegisterHistogram(&hist, "h", {}, &hist);
+  registry.RegisterMeter(&meter, "m", {}, &meter);
+  counter.Add(5);
+  hist.Record(1.0);
+  meter.Record(2.0);
+
+  EXPECT_EQ(registry.generation(), 0u);
+  EXPECT_EQ(registry.ResetAll(), 1u);
+  EXPECT_EQ(registry.generation(), 1u);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.generation, 1u);
+  EXPECT_EQ(snap.Find("c")->counter, 0u);
+  EXPECT_EQ(snap.Find("h")->hist.count, 0u);
+  EXPECT_EQ(snap.Find("m")->meter.count, 0u);
+}
+
+TEST(MetricsRegistryTest, UnregisterRemovesOwnerMetrics) {
+  MetricsRegistry registry;
+  Counter a;
+  Counter b;
+  registry.RegisterCounter(&a, "a1", {}, &a);
+  registry.RegisterCounter(&a, "a2", {}, &a);
+  registry.RegisterCounter(&b, "b1", {}, &b);
+  EXPECT_EQ(registry.size(), 3u);
+  registry.Unregister(&a);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.Snapshot().Find("a1"), nullptr);
+  EXPECT_NE(registry.Snapshot().Find("b1"), nullptr);
+}
+
+// -- Lock-free stats under concurrency (TSAN coverage) --------------------------
+
+TEST(StatsConcurrency, HistogramAndMeterConcurrentRecord) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50'000;
+  Histogram hist;
+  Meter meter;
+  Counter counter;
+  MetricsRegistry registry;
+  registry.RegisterHistogram(&hist, "h", {}, &hist);
+  registry.RegisterMeter(&meter, "m", {}, &meter);
+  registry.RegisterCounter(&counter, "c", {}, &counter);
+
+  std::atomic<bool> stop{false};
+  // A snapshotter races the recorders the whole time: every intermediate
+  // snapshot must be internally sane even while buckets are moving.
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const MetricsSnapshot snap = registry.Snapshot();
+      const MetricSample* h = snap.Find("h");
+      ASSERT_NE(h, nullptr);
+      EXPECT_LE(h->hist.p50, h->hist.p99 + 1e-9);
+      EXPECT_LE(h->hist.count,
+                static_cast<std::uint64_t>(kThreads) * kPerThread);
+      const MetricSample* m = snap.Find("m");
+      EXPECT_GE(m->meter.sum, 0.0);
+    }
+  });
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const double v = static_cast<double>((t * kPerThread + i) % 1000 + 1);
+        hist.Record(v);
+        meter.Record(v);
+        counter.Add();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  stop.store(true);
+  snapshotter.join();
+
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(hist.Count(), expected);
+  EXPECT_EQ(meter.Count(), expected);
+  EXPECT_EQ(counter.Get(), expected);
+  EXPECT_DOUBLE_EQ(meter.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(meter.Max(), 1000.0);
+  EXPECT_GT(hist.Quantile(0.5), 0.0);
+}
+
+TEST(StatsConcurrency, ResetAllRacesRecorders) {
+  Histogram hist;
+  Counter counter;
+  MetricsRegistry registry;
+  registry.RegisterHistogram(&hist, "h", {}, &hist);
+  registry.RegisterCounter(&counter, "c", {}, &counter);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < 2; ++t) {
+    recorders.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        hist.Record(5.0);
+        counter.Add();
+      }
+    });
+  }
+  // Resets route through the registry (serialized, generation-stamped);
+  // TSAN checks the recorder/reset interleavings are race-free.
+  for (int i = 0; i < 50; ++i) {
+    registry.ResetAll();
+    const MetricsSnapshot snap = registry.Snapshot();
+    EXPECT_EQ(snap.generation, static_cast<std::uint64_t>(i + 1));
+  }
+  stop.store(true);
+  for (auto& t : recorders) t.join();
+  EXPECT_EQ(registry.generation(), 50u);
+}
+
+}  // namespace
+}  // namespace ginja

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ginja {
+namespace {
+
+TraceOptions SmallRing() {
+  TraceOptions options;
+  options.enabled = true;
+  options.sample_period = 1;
+  options.ring_size = 8;
+  options.shards = 1;
+  return options;
+}
+
+TEST(TracerTest, SamplingIsDeterministicInSeedAndId) {
+  TraceOptions options;
+  options.enabled = true;
+  options.sample_period = 64;
+  WriteTracer a(options);
+  WriteTracer b(options);
+
+  std::set<std::uint64_t> picked_a;
+  std::set<std::uint64_t> picked_b;
+  for (std::uint64_t id = 0; id < 10'000; ++id) {
+    if (a.Sampled(id)) picked_a.insert(id);
+    if (b.Sampled(id)) picked_b.insert(id);
+  }
+  // Same (seed, id) stream -> the exact same sample set, run after run.
+  EXPECT_EQ(picked_a, picked_b);
+  // Roughly 1/64 of 10k ids; the mixer keeps it near the mean.
+  EXPECT_GT(picked_a.size(), 60u);
+  EXPECT_LT(picked_a.size(), 320u);
+
+  options.seed ^= 0xdeadbeefull;
+  WriteTracer c(options);
+  std::set<std::uint64_t> picked_c;
+  for (std::uint64_t id = 0; id < 10'000; ++id) {
+    if (c.Sampled(id)) picked_c.insert(id);
+  }
+  EXPECT_NE(picked_a, picked_c);
+}
+
+TEST(TracerTest, SamplePeriodOneTracesEveryWrite) {
+  WriteTracer tracer(SmallRing());
+  for (std::uint64_t id = 0; id < 100; ++id) EXPECT_TRUE(tracer.Sampled(id));
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  TraceOptions options = SmallRing();
+  options.enabled = false;
+  WriteTracer tracer(options);
+  EXPECT_FALSE(tracer.Sampled(0));
+  tracer.Record(TraceStage::kPut, 1, 100, 50);
+  EXPECT_EQ(tracer.events_recorded(), 0u);
+  EXPECT_TRUE(tracer.RecentSpans(16).empty());
+  EXPECT_EQ(tracer.stage_histogram(TraceStage::kPut).Count(), 0u);
+
+  tracer.SetEnabled(true);
+  tracer.Record(TraceStage::kPut, 1, 100, 50);
+  EXPECT_EQ(tracer.events_recorded(), 1u);
+}
+
+TEST(TracerTest, RingWrapsKeepingTheMostRecentSpans) {
+  WriteTracer tracer(SmallRing());  // capacity 8, one shard
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    tracer.Record(TraceStage::kEncode, i, /*start_us=*/1000 + i, /*dur=*/1);
+  }
+  const std::vector<SpanEvent> spans = tracer.RecentSpans(100);
+  ASSERT_EQ(spans.size(), 8u);  // ring capacity, not total recorded
+  // Oldest surviving span first; ids 12..19 survive the wrap.
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].trace_id, 12 + i);
+    EXPECT_EQ(spans[i].start_us, 1012 + i);
+  }
+  // A tighter cap keeps the *newest* spans.
+  const std::vector<SpanEvent> tail = tracer.RecentSpans(3);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0].trace_id, 17u);
+  EXPECT_EQ(tail[2].trace_id, 19u);
+  EXPECT_EQ(tracer.events_recorded(), 20u);
+}
+
+TEST(TracerTest, StageHistogramsFeedFromRecordExceptMarkers) {
+  WriteTracer tracer(SmallRing());
+  tracer.Record(TraceStage::kSubmit, 1, 10, 0);    // marker: no histogram
+  tracer.Record(TraceStage::kFrontier, 1, 40, 0);  // marker: no histogram
+  tracer.Record(TraceStage::kStaged, 1, 10, 0);    // 0 us still counts
+  tracer.Record(TraceStage::kPut, 1, 20, 500);
+  tracer.Record(TraceStage::kPut, 2, 30, 700);
+
+  EXPECT_EQ(tracer.stage_histogram(TraceStage::kSubmit).Count(), 0u);
+  EXPECT_EQ(tracer.stage_histogram(TraceStage::kFrontier).Count(), 0u);
+  EXPECT_EQ(tracer.stage_histogram(TraceStage::kStaged).Count(), 1u);
+  EXPECT_EQ(tracer.stage_histogram(TraceStage::kPut).Count(), 2u);
+  EXPECT_GE(tracer.stage_histogram(TraceStage::kPut).Max(), 700.0);
+  EXPECT_EQ(tracer.events_recorded(), 5u);  // markers still land in the ring
+}
+
+TEST(TracerTest, FlightRecorderDumpNamesTheStages) {
+  WriteTracer tracer(SmallRing());
+  tracer.Record(TraceStage::kPut, 7, 100, 42);
+  tracer.Record(TraceStage::kAck, 7, 150, 5);
+  const std::string dump = tracer.FlightRecorderDump();
+  EXPECT_NE(dump.find("2 spans"), std::string::npos);
+  EXPECT_NE(dump.find("stage=put"), std::string::npos);
+  EXPECT_NE(dump.find("stage=ack"), std::string::npos);
+  EXPECT_NE(dump.find("id=7"), std::string::npos);
+  EXPECT_NE(dump.find("dur_us=42"), std::string::npos);
+}
+
+TEST(TracerTest, RegisterMetricsExposesPerStageLatency) {
+  WriteTracer tracer(SmallRing());
+  MetricsRegistry registry;
+  tracer.RegisterMetrics(registry, &tracer);
+  tracer.Record(TraceStage::kEncode, 1, 0, 30);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  const MetricSample* encode =
+      snap.Find("ginja_stage_latency_us", {{"stage", "encode"}});
+  ASSERT_NE(encode, nullptr);
+  EXPECT_EQ(encode->hist.count, 1u);
+  const MetricSample* events = snap.Find("ginja_trace_events_total");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->counter, 1u);
+  // One series per stage plus the event counter.
+  EXPECT_EQ(registry.size(), static_cast<std::size_t>(kTraceStageCount) + 1);
+
+  registry.Unregister(&tracer);
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ginja
