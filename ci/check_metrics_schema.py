@@ -43,6 +43,7 @@ def main():
     sample_keys = schema["sample_keys"]
     seen = set()  # (name, kind)
     populated_stages = set()
+    stage_series = set()  # every registered ginja_stage_latency_us label
     for i, sample in enumerate(metrics):
         where = f"metrics[{i}]"
         for key in sample_keys["all"]:
@@ -65,14 +66,22 @@ def main():
             elif not isinstance(sample[key], (int, float)):
                 errors.append(f"{where}: '{key}' must be numeric")
         seen.add((name, kind))
-        if (name == "ginja_stage_latency_us" and
-                sample.get("count", 0) > 0):
-            populated_stages.add(sample["labels"].get("stage", f"#{i}"))
+        if name == "ginja_stage_latency_us":
+            stage_series.add(sample["labels"].get("stage", f"#{i}"))
+            if sample.get("count", 0) > 0:
+                populated_stages.add(sample["labels"].get("stage", f"#{i}"))
 
     for want in schema["required_metrics"]:
         if (want["name"], want["kind"]) not in seen:
             errors.append(f"required metric missing: {want['name']} "
                           f"({want['kind']})")
+
+    for stage in schema.get("required_stage_series", []):
+        if stage not in stage_series:
+            errors.append(
+                f"required ginja_stage_latency_us series missing: "
+                f"stage='{stage}' (streaming trace stages must stay "
+                f"registered even when the feature is off)")
 
     min_stages = schema["min_populated_stage_series"]
     if len(populated_stages) < min_stages:

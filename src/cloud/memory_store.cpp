@@ -2,12 +2,54 @@
 
 namespace ginja {
 
+namespace {
+
+// Accumulates parts privately; Finish is one ordinary Put. The insert
+// moves a shared_ptr, so even multi-MB streamed objects publish with a
+// constant-time critical section.
+class MemoryStoreWriter : public ObjectWriter {
+ public:
+  explicit MemoryStoreWriter(MemoryStore* store) : store_(store) {}
+
+  Status AppendPart(std::uint32_t index, ByteView part) override {
+    if (finished_ || aborted_) {
+      return Status::InvalidArgument("writer already closed");
+    }
+    if (index < next_) return Status::Ok();
+    if (index != next_) {
+      return Status::InvalidArgument("stream part out of order");
+    }
+    Append(buffer_, part);
+    ++next_;
+    return Status::Ok();
+  }
+
+  Status Finish(std::string_view name) override {
+    if (aborted_) return Status::InvalidArgument("writer aborted");
+    if (finished_) return Status::Ok();  // idempotent: already published
+    Status st = store_->Put(name, View(buffer_));
+    if (st.ok()) finished_ = true;  // a failed Finish may be retried
+    return st;
+  }
+
+  void Abort() override { aborted_ = true; }
+
+ private:
+  MemoryStore* store_;
+  Bytes buffer_;
+  std::uint32_t next_ = 0;
+  bool finished_ = false;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
 Status MemoryStore::Put(std::string_view name, ByteView data) {
   // Copy the payload (the expensive part for multi-MB objects) before
   // taking the map lock, so K concurrent PUTs — latency benches with the
   // Instant profile especially — serialize only on the map insert, not on
   // the memcpy.
-  Bytes copy(data.begin(), data.end());
+  auto copy = std::make_shared<const Bytes>(data.begin(), data.end());
   std::string key(name);
   std::lock_guard<std::mutex> lock(mu_);
   objects_.insert_or_assign(std::move(key), std::move(copy));
@@ -15,12 +57,20 @@ Status MemoryStore::Put(std::string_view name, ByteView data) {
 }
 
 Result<Bytes> MemoryStore::Get(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = objects_.find(name);
-  if (it == objects_.end()) {
-    return Status::NotFound(std::string(name));
+  // Same asymmetry as Put: grab a reference under the lock, copy the
+  // payload after releasing it. Values are immutable once inserted, so
+  // the copy reads a stable blob even if the name is concurrently
+  // overwritten or deleted.
+  std::shared_ptr<const Bytes> blob;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = objects_.find(name);
+    if (it == objects_.end()) {
+      return Status::NotFound(std::string(name));
+    }
+    blob = it->second;
   }
-  return it->second;
+  return *blob;
 }
 
 Result<std::vector<ObjectMeta>> MemoryStore::List(std::string_view prefix) {
@@ -28,7 +78,7 @@ Result<std::vector<ObjectMeta>> MemoryStore::List(std::string_view prefix) {
   std::vector<ObjectMeta> out;
   for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
-    out.push_back({it->first, it->second.size()});
+    out.push_back({it->first, it->second->size()});
   }
   return out;
 }
@@ -39,6 +89,11 @@ Status MemoryStore::Delete(std::string_view name) {
   return Status::Ok();
 }
 
+Result<ObjectWriterPtr> MemoryStore::BeginStreaming(
+    std::string_view /*staging_hint*/) {
+  return ObjectWriterPtr(new MemoryStoreWriter(this));
+}
+
 std::size_t MemoryStore::ObjectCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   return objects_.size();
@@ -47,7 +102,7 @@ std::size_t MemoryStore::ObjectCount() const {
 std::uint64_t MemoryStore::TotalBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::uint64_t total = 0;
-  for (const auto& [name, data] : objects_) total += data.size();
+  for (const auto& [name, data] : objects_) total += data->size();
   return total;
 }
 

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <mutex>
 
 #include "cloud/object_store.h"
@@ -15,6 +16,10 @@ class MemoryStore : public ObjectStore {
   Result<std::vector<ObjectMeta>> List(std::string_view prefix) override;
   Status Delete(std::string_view name) override;
 
+  // Streamed upload staged outside the map: parts accumulate in the
+  // writer's private buffer and land with one locked insert at Finish.
+  Result<ObjectWriterPtr> BeginStreaming(std::string_view staging_hint) override;
+
   std::size_t ObjectCount() const;
   std::uint64_t TotalBytes() const;
 
@@ -23,7 +28,9 @@ class MemoryStore : public ObjectStore {
 
  private:
   mutable std::mutex mu_;
-  std::map<std::string, Bytes, std::less<>> objects_;
+  // Values are shared immutable blobs so Get can copy the payload outside
+  // mu_ — only the map lookup serializes (mirror of the Put-side copy).
+  std::map<std::string, std::shared_ptr<const Bytes>, std::less<>> objects_;
 };
 
 }  // namespace ginja

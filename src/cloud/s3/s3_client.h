@@ -26,7 +26,16 @@ class S3Client : public ObjectStore {
   Result<std::vector<ObjectMeta>> List(std::string_view prefix) override;
   Status Delete(std::string_view name) override;
 
+  // Real S3 multipart upload: initiate (POST ?uploads) under the staging
+  // key, one PUT ?partNumber=N per part, complete (POST ?uploadId) at
+  // Finish, then a server-side copy (x-amz-copy-source) to the final name
+  // — multipart can't learn its key after initiation, and Ginja only
+  // knows the object name at stream close.
+  Result<ObjectWriterPtr> BeginStreaming(std::string_view staging_hint) override;
+
  private:
+  friend class S3StreamWriter;
+
   Result<HttpResponse> Send(HttpRequest request);
 
   std::shared_ptr<HttpTransport> transport_;

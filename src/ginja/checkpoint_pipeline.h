@@ -41,6 +41,7 @@ struct CheckpointPipelineStats {
   Counter db_objects_uploaded;   // parts
   Counter bytes_uploaded;        // enveloped
   Counter wal_objects_deleted;
+  Counter wal_tails_deleted;   // superseded early-ack tail objects
   Counter db_objects_deleted;
 };
 

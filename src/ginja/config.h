@@ -42,6 +42,32 @@ struct GinjaConfig {
   bool adaptive_batching = false;
   // Objects are split at this size to optimise upload latency (§5.2 fn. 3).
   std::size_t max_object_bytes = 20 * 1024 * 1024;
+  // Streaming commit path: WAL objects leave the machine part by part
+  // while the batch is still filling (store-side streamed PUT), instead of
+  // one buffered PUT at batch close. Encoding and upload overlap, so the
+  // close-to-ack tail is roughly one finish round-trip instead of a full
+  // object PUT. Off by default; the buffered path is byte-identical to
+  // previous releases.
+  bool streaming_commit = false;
+  // Writes per streamed segment: the aggregator seals and uploads a
+  // segment once this many staged writes accumulate (a deadline or stop
+  // flushes a partial segment). Smaller segments start the upload sooner
+  // but cost more per-part requests.
+  std::size_t stream_segment_writes = 16;
+  // Max parts staged-or-in-flight per stream before the uploader waits —
+  // bounds producer run-ahead and the memory pinned per open stream.
+  std::size_t stream_part_window = 8;
+  // Early acks (streaming only): each uploaded segment is also PUT as a
+  // small replicated tail object (WALTAIL/...), and its writes are
+  // acknowledged as soon as the tails land — before the enclosing WAL
+  // object finishes. Tails are folded into the WAL object at stream close
+  // and deleted. Consecutive-ack semantics are preserved: a segment acks
+  // only when all earlier segments of the batch have acked.
+  bool early_ack = false;
+  // Tail-object replicas per segment when early_ack is on. >1 emulates
+  // the BtrLog-style replicated small-write path; every replica must land
+  // before the segment acks.
+  int tail_replicas = 1;
   // Retry policy (model time) for failed cloud operations: jittered
   // exponential backoff starting at retry_backoff_us, multiplied per
   // attempt up to retry_backoff_max_us. One RetryPolicy schedule is shared

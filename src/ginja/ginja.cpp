@@ -181,16 +181,28 @@ Status Ginja::Recover(ObjectStorePtr store, const GinjaConfig& config,
   if (!objects.ok()) return objects.status();
 
   std::vector<WalObjectId> wal_objects;
+  // ts -> seg -> replicas of that segment's tail object (streaming early
+  // acks; see CommitPipeline). Only tails of a ts with *no* full WAL
+  // object matter — the finished object supersedes its tails.
+  std::map<std::uint64_t, std::map<std::uint32_t, std::vector<TailObjectId>>>
+      tails_by_ts;
   std::map<std::uint64_t, std::vector<DbObjectId>> db_by_seq;
   for (const auto& meta : *objects) {
     if (auto wal = WalObjectId::Decode(meta.name)) {
       if (!up_to_ts || wal->ts <= *up_to_ts) wal_objects.push_back(*wal);
       continue;
     }
+    if (auto tail = TailObjectId::Decode(meta.name)) {
+      if (!up_to_ts || tail->ts <= *up_to_ts) {
+        tails_by_ts[tail->ts][tail->seg].push_back(*tail);
+      }
+      continue;
+    }
     if (auto db = DbObjectId::Decode(meta.name)) {
       if (!up_to_ts || db->ts <= *up_to_ts) db_by_seq[db->seq].push_back(*db);
     }
   }
+  for (const auto& id : wal_objects) tails_by_ts.erase(id.ts);
   std::sort(wal_objects.begin(), wal_objects.end(),
             [](const WalObjectId& a, const WalObjectId& b) { return a.ts < b.ts; });
 
@@ -202,7 +214,11 @@ Status Ginja::Recover(ObjectStorePtr store, const GinjaConfig& config,
   struct FetchPlanItem {
     std::string name;
     bool is_wal = false;
+    bool is_tail = false;       // WALTAIL/ segment of an unfinished object
     std::uint64_t wal_ts = 0;
+    // Replica tails holding the same segment bytes, tried in order when
+    // the primary fails; empty for everything else.
+    std::vector<std::string> fallbacks;
   };
   std::vector<FetchPlanItem> plan;
 
@@ -249,8 +265,56 @@ Status Ginja::Recover(ObjectStorePtr store, const GinjaConfig& config,
         gap_after_plan = true;
         break;
       }
-      plan.push_back({id.Encode(), /*is_wal=*/true, id.ts});
+      plan.push_back({id.Encode(), /*is_wal=*/true, /*is_tail=*/false, id.ts,
+                      {}});
       previous_ts = id.ts;
+    }
+
+    // 3b. Tail objects of the next unfinished streamed WAL object (early
+    // acks): its acked segment prefix is recoverable even though the
+    // object itself never finished. The candidate ts must keep timestamps
+    // consecutive — previous_ts + 1, or the earliest un-covered tail ts
+    // when no full WAL object was planned. Within the ts, GC only ever
+    // deletes a seg-*prefix* of tails (the cumulative max_lsn is monotone
+    // in seg), so the dense run starting at the lowest surviving segment
+    // is applied, in order, and the plan always ends there: what followed
+    // the run was never acknowledged, losing it is within the S bound.
+    std::optional<std::uint64_t> tail_ts;
+    for (const auto& [ts, segs] : tails_by_ts) {
+      Lsn ts_max = 0;
+      for (const auto& [seg, replicas] : segs) {
+        for (const auto& t : replicas) ts_max = std::max(ts_max, t.max_lsn);
+      }
+      if (ts_max <= last_redo_lsn) continue;  // fully covered by the pages
+      if (previous_ts && ts != *previous_ts + 1) continue;
+      if (!previous_ts && gap_after_plan) continue;
+      tail_ts = ts;
+      break;
+    }
+    if (tail_ts) {
+      const auto& segs = tails_by_ts[*tail_ts];
+      std::uint32_t expected = segs.begin()->first;
+      for (const auto& [seg, replicas] : segs) {
+        if (seg != expected) break;  // a hole ends the acked prefix
+        ++expected;
+        std::vector<TailObjectId> sorted = replicas;
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const TailObjectId& a, const TailObjectId& b) {
+                    return a.replica < b.replica;
+                  });
+        FetchPlanItem item;
+        item.name = sorted.front().Encode();
+        item.is_wal = true;
+        item.is_tail = true;
+        item.wal_ts = *tail_ts;
+        for (std::size_t k = 1; k < sorted.size(); ++k) {
+          item.fallbacks.push_back(sorted[k].Encode());
+        }
+        plan.push_back(std::move(item));
+      }
+      // A tails-only ts is by construction an incomplete object: the plan
+      // stops here and the truncation is reported.
+      gap_after_plan = true;
     }
   }
 
@@ -311,6 +375,13 @@ Status Ginja::Recover(ObjectStorePtr store, const GinjaConfig& config,
                      t_fetched >= issued ? t_fetched - issued : 0);
     }
     Status st = apply_blob(std::move(fetched));
+    if (!st.ok() && !plan[i].fallbacks.empty()) {
+      // Replica tails hold byte-identical segments; any one of them will do.
+      for (const auto& alt : plan[i].fallbacks) {
+        st = apply_blob(transfers.Get(alt));
+        if (st.ok()) break;
+      }
+    }
     if (tracing) {
       const std::uint64_t t_applied = clock->NowMicros();
       tracer->Record(TraceStage::kRecoveryApply, i, t_fetched,
@@ -328,7 +399,11 @@ Status Ginja::Recover(ObjectStorePtr store, const GinjaConfig& config,
       wal_tail_truncated = true;
       break;
     } else {
-      ++r.wal_objects_applied;
+      if (plan[i].is_tail) {
+        ++r.tail_segments_applied;
+      } else {
+        ++r.wal_objects_applied;
+      }
       r.recovered_to_ts = plan[i].wal_ts;
     }
   }

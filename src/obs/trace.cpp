@@ -40,6 +40,9 @@ const char* TraceStageName(TraceStage stage) {
     case TraceStage::kCheckpointPart: return "checkpoint_part";
     case TraceStage::kRecoveryFetch: return "recovery_fetch";
     case TraceStage::kRecoveryApply: return "recovery_apply";
+    case TraceStage::kPutFirstByte: return "put_first_byte";
+    case TraceStage::kPartPut: return "part_put";
+    case TraceStage::kTailPut: return "tail_put";
   }
   return "?";
 }

@@ -48,8 +48,11 @@ enum class TraceStage : std::uint8_t {
   kCheckpointPart,   // checkpoint/dump part: PUT issued → reaped
   kRecoveryFetch,    // recovery object: GET issued → blob consumed
   kRecoveryApply,    // recovery object: decode + apply to the target VFS
+  kPutFirstByte,     // stream open → first data segment durable
+  kPartPut,          // segment sealed → its part durable (streaming)
+  kTailPut,          // segment sealed → replica-0 tail object durable
 };
-inline constexpr int kTraceStageCount = 11;
+inline constexpr int kTraceStageCount = 14;
 
 const char* TraceStageName(TraceStage stage);
 
