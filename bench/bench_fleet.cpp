@@ -1,0 +1,359 @@
+// Fleet bench: hundreds of TPC-C tenants on one shared FleetRuntime.
+//
+// The scaling claim behind the multi-tenant refactor: N tenants on one
+// uploader pool / transfer manager / codec pool sustain far more
+// aggregate submitted-writes/s than the same N tenants run one after
+// another on their own stacks, while every tenant's unconfirmed window
+// stays inside its own S bound (DRR fairness — no hot-tenant starvation).
+//
+// Tenant skew is Zipfian in both rate and size: tenant of rank r runs
+// ~base/r^0.8 transactions against a database whose TPC-C cardinality
+// shrinks with rank, so tenant 1 is a hot large instance and tenant 100 a
+// near-idle small one — the fleet shape the paper's $1/month amortization
+// argument assumes.
+//
+// Emits one machine-readable line
+//   BENCH_fleet {"tenants":100,...}
+// plus an OBS_SNAPSHOT line whose per-tenant labelled RPO/cost series CI
+// validates against ci/metrics_schema.json (fleet mode).
+//
+// Usage: bench_fleet [--smoke] [--tenants=N] [--txns=BASE]
+//   --smoke     8 tenants, small workload (the CI configuration)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "cloud/tenant_namespace.h"
+#include "ginja/fleet.h"
+#include "ginja/fleet_runtime.h"
+
+namespace ginja::bench {
+namespace {
+
+struct FleetBenchOptions {
+  int tenants = 100;
+  int base_txns = 150;  // rank-1 tenant's transaction count
+  double zipf_exponent = 0.8;
+};
+
+// Per-tenant local stack (the fleet shares everything cloud-side).
+struct TenantStack {
+  std::string id;
+  int txns = 0;
+  std::shared_ptr<MemFs> local;
+  std::shared_ptr<InterceptFs> intercept;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<TpccWorkload> tpcc;
+  std::shared_ptr<MeteredStore> metered;  // null in the sequential baseline
+  Ginja* ginja = nullptr;                 // owned by the fleet (or standalone_)
+  std::unique_ptr<Ginja> standalone_;     // sequential baseline only
+};
+
+GinjaConfig TenantConfig() {
+  GinjaConfig config;
+  config.batch = 8;
+  config.safety = 128;
+  config.batch_timeout_us = 50'000;
+  config.uploader_threads = 3;  // the standalone baseline's private pool
+  config.retry_backoff_us = 2'000;
+  return config;
+}
+
+int ZipfTxns(const FleetBenchOptions& opts, int rank) {
+  const double w = std::pow(static_cast<double>(rank), -opts.zipf_exponent);
+  return std::max(8, static_cast<int>(opts.base_txns * w));
+}
+
+// Builds the tenant's local database (engine + interception), populated
+// and checkpointed, ready for a Ginja to Boot over it. Size skew: higher
+// ranks get a larger TPC-C scale divisor, i.e. smaller tables and rows.
+bool BuildLocal(TenantStack& t, const std::shared_ptr<Clock>& clock,
+                int rank) {
+  t.local = std::make_shared<MemFs>();
+  auto disk = std::make_shared<FsyncModelFs>(t.local, clock);
+  t.intercept = std::make_shared<InterceptFs>(disk, clock, kFuseOverheadUs);
+  t.db = std::make_unique<Database>(t.intercept, DbLayout::Postgres());
+  if (!t.db->Create().ok()) return false;
+  TpccConfig tpcc_config;
+  tpcc_config.warehouses = 1;
+  // Zipf-ish size skew: low ranks get larger tables. Cardinalities stay
+  // small throughout so the modelled I/O (fsync, WAN PUTs), not host CPU,
+  // dominates each tenant — the regime the latency model calibrates for.
+  tpcc_config.scale = std::min(1000, 400 * ((rank + 9) / 10));
+  tpcc_config.seed = 2017 + static_cast<std::uint64_t>(rank);
+  t.tpcc = std::make_unique<TpccWorkload>(t.db.get(), tpcc_config);
+  if (!t.tpcc->Populate().ok()) return false;
+  return t.db->Checkpoint().ok();
+}
+
+// Runs the tenant's transaction quota, checkpointing periodically.
+void RunTenant(TenantStack& t, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  for (int i = 0; i < t.txns; ++i) {
+    (void)t.tpcc->Execute(t.tpcc->PickType(rng), rng);
+    if ((i + 1) % 64 == 0) (void)t.db->Checkpoint();
+  }
+}
+
+struct PhaseResult {
+  double wall_seconds = 0;
+  std::uint64_t submitted_writes = 0;
+  std::size_t max_pending = 0;  // worst per-tenant unconfirmed window
+};
+
+// The fleet phase: every tenant runs boot -> workload -> drain
+// concurrently on the shared runtime (a full tenant lifecycle, matching
+// what the sequential baseline times per tenant). A sampler thread
+// records the worst per-tenant unconfirmed window while the run is hot —
+// the fairness evidence for the BENCH line.
+PhaseResult RunConcurrent(std::vector<TenantStack>& tenants) {
+  PhaseResult result;
+  std::atomic<bool> sampling{true};
+  std::atomic<std::size_t> max_pending{0};
+  std::thread sampler([&] {
+    while (sampling.load(std::memory_order_relaxed)) {
+      for (auto& t : tenants) {
+        const std::size_t pending = t.ginja->PendingWrites();
+        std::size_t seen = max_pending.load(std::memory_order_relaxed);
+        while (pending > seen &&
+               !max_pending.compare_exchange_weak(seen, pending)) {
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  std::atomic<int> boot_failures{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(tenants.size());
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    workers.emplace_back([&, i] {
+      TenantStack& t = tenants[i];
+      if (!t.ginja->Boot().ok()) {
+        boot_failures.fetch_add(1);
+        return;
+      }
+      t.intercept->SetListener(t.ginja);
+      RunTenant(t, /*seed=*/1'000 + i);
+      t.ginja->Drain();
+    });
+  }
+  for (auto& w : workers) w.join();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  sampling = false;
+  sampler.join();
+  if (boot_failures.load() > 0) {
+    std::fprintf(stderr, "%d tenant boots failed\n", boot_failures.load());
+  }
+  result.max_pending = max_pending.load();
+  for (const auto& t : tenants) {
+    result.submitted_writes += t.ginja->commit_stats().writes_submitted.Get();
+  }
+  return result;
+}
+
+// The baseline the speedup is measured against: the same tenant specs run
+// one at a time, each on its own standalone Ginja stack (private uploader
+// pool, private transfer manager) — the pre-fleet deployment model. Local
+// database construction is untimed in both phases; the timed window per
+// tenant is boot -> workload -> drain, as in the fleet phase.
+PhaseResult RunSequentialBaseline(
+    const FleetBenchOptions& opts, const std::shared_ptr<ScaledClock>& clock,
+    const std::shared_ptr<LatencyModel>& latency) {
+  PhaseResult result;
+  std::vector<TenantStack> tenants(static_cast<std::size_t>(opts.tenants));
+  for (int i = 0; i < opts.tenants; ++i) {
+    TenantStack& t = tenants[static_cast<std::size_t>(i)];
+    t.txns = ZipfTxns(opts, i + 1);
+    if (!BuildLocal(t, clock, i + 1)) {
+      std::fprintf(stderr, "baseline tenant %d: local build failed\n", i);
+      return result;
+    }
+    // The same cloud model as the fleet phase (WAN latency, metering) on a
+    // private bucket — only the execution resources differ.
+    auto store = std::make_shared<MeteredStore>(std::make_shared<MemoryStore>(),
+                                                clock, latency);
+    t.standalone_ = std::make_unique<Ginja>(t.local, store, clock,
+                                            DbLayout::Postgres(),
+                                            TenantConfig());
+    t.ginja = t.standalone_.get();
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    TenantStack& t = tenants[i];
+    if (!t.ginja->Boot().ok()) {
+      std::fprintf(stderr, "baseline tenant %zu: boot failed\n", i);
+      continue;
+    }
+    t.intercept->SetListener(t.ginja);
+    RunTenant(t, /*seed=*/1'000 + i);
+    t.ginja->Drain();
+    result.submitted_writes += t.ginja->commit_stats().writes_submitted.Get();
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (auto& t : tenants) t.ginja->Stop();
+  return result;
+}
+
+int Run(const FleetBenchOptions& opts) {
+  PrintHeader("Fleet: shared runtime, Zipf-skewed multi-tenant TPC-C");
+
+  auto clock = std::make_shared<ScaledClock>(kTimeScale);
+  auto base_store = std::make_shared<MemoryStore>();
+  auto latency = std::make_shared<LatencyModel>(LatencyParams::WanS3(), clock);
+  TraceOptions trace;
+  trace.enabled = true;
+  trace.sample_period = 16;
+  auto obs = std::make_shared<Observability>(trace);
+
+  FleetRuntime::Options runtime_opts;
+  runtime_opts.uploader_threads = 8;
+  runtime_opts.transfer_concurrency = 16;
+  runtime_opts.codec_threads = 4;
+  auto runtime = std::make_shared<FleetRuntime>(base_store, clock,
+                                               runtime_opts, obs);
+  GinjaFleet fleet(runtime);
+
+  // -- build + boot the fleet -------------------------------------------------
+  std::vector<TenantStack> tenants(static_cast<std::size_t>(opts.tenants));
+  const PriceBook prices = PriceBook::AmazonS3May2017();
+  for (int i = 0; i < opts.tenants; ++i) {
+    TenantStack& t = tenants[static_cast<std::size_t>(i)];
+    t.id = "t" + std::to_string(i);
+    t.txns = ZipfTxns(opts, i + 1);
+    if (!BuildLocal(t, clock, i + 1)) {
+      std::fprintf(stderr, "tenant %d: local build failed\n", i);
+      return 1;
+    }
+    GinjaFleet::TenantSpec spec;
+    spec.id = t.id;
+    spec.local_vfs = t.local;
+    spec.layout = DbLayout::Postgres();
+    spec.config = TenantConfig();
+    // Meter each tenant's namespaced slice of the shared bucket, with the
+    // tenant label on its cost/usage gauges.
+    spec.store_decorator = [&](ObjectStorePtr ns) -> ObjectStorePtr {
+      t.metered = std::make_shared<MeteredStore>(std::move(ns), clock, latency);
+      t.metered->RegisterMetrics(&obs->registry, prices,
+                                 {{"tenant", t.id}});
+      return t.metered;
+    };
+    auto added = fleet.AddTenant(std::move(spec));
+    if (!added.ok()) {
+      std::fprintf(stderr, "tenant %d: %s\n", i,
+                   added.status().ToString().c_str());
+      return 1;
+    }
+    t.ginja = *added;  // booted inside the timed concurrent phase
+  }
+  std::uint64_t total_txns = 0;
+  for (const auto& t : tenants) total_txns += static_cast<std::uint64_t>(t.txns);
+  std::printf("%d tenants booted, %llu total transactions "
+              "(rank-1: %d, rank-%d: %d)\n",
+              opts.tenants, static_cast<unsigned long long>(total_txns),
+              tenants.front().txns, opts.tenants, tenants.back().txns);
+
+  // -- concurrent fleet phase -------------------------------------------------
+  const std::uint64_t window_start = clock->NowMicros();
+  const PhaseResult fleet_result = RunConcurrent(tenants);
+  std::printf("fleet: %.2f wall-s, %llu submitted writes (%.0f writes/s), "
+              "max per-tenant unconfirmed %zu (S=%zu)\n",
+              fleet_result.wall_seconds,
+              static_cast<unsigned long long>(fleet_result.submitted_writes),
+              fleet_result.submitted_writes / fleet_result.wall_seconds,
+              fleet_result.max_pending, TenantConfig().safety);
+
+  // Worst per-tenant p99 commit latency (model-us) — the fleet's p99 is
+  // bounded by its worst tenant.
+  double p99_commit_us = 0;
+  for (const auto& t : tenants) {
+    p99_commit_us = std::max(
+        p99_commit_us, t.ginja->commit_stats().commit_latency_us.Snapshot().p99);
+  }
+  const double window_micros =
+      static_cast<double>(clock->NowMicros() - window_start);
+  double dollars_month = 0;
+  for (const auto& t : tenants) {
+    dollars_month += t.metered->MonthlyCost(prices, window_micros);
+  }
+
+  // The obs snapshot with per-tenant labelled series, while every tenant's
+  // metrics (and metered stores) are still registered. Stop cleanly after.
+  const MetricsSnapshot snap = obs->registry.Snapshot(clock->NowMicros());
+  std::printf("\nOBS_SNAPSHOT %s\n", snap.ToJson().c_str());
+  fleet.StopAll();
+
+  // -- sequential single-tenant baseline -------------------------------------
+  const PhaseResult seq = RunSequentialBaseline(opts, clock, latency);
+  std::printf("sequential baseline: %.2f wall-s, %llu submitted writes "
+              "(%.0f writes/s)\n",
+              seq.wall_seconds,
+              static_cast<unsigned long long>(seq.submitted_writes),
+              seq.submitted_writes / seq.wall_seconds);
+
+  const double fleet_rate =
+      fleet_result.submitted_writes / fleet_result.wall_seconds;
+  const double seq_rate = seq.submitted_writes / seq.wall_seconds;
+  const double speedup = seq_rate > 0 ? fleet_rate / seq_rate : 0;
+  std::printf("aggregate throughput: fleet %.0f vs sequential %.0f "
+              "writes/s -> %.1fx\n", fleet_rate, seq_rate, speedup);
+
+  JsonLine("fleet")
+      .Field("tenants", opts.tenants)
+      .Field("total_txns", total_txns)
+      .Field("submitted_writes", fleet_result.submitted_writes)
+      .Field("fleet_wall_s", fleet_result.wall_seconds)
+      .Field("agg_submitted_writes_per_s", fleet_rate)
+      .Field("seq_submitted_writes_per_s", seq_rate)
+      .Field("speedup_vs_sequential", speedup)
+      .Field("p99_commit_us", p99_commit_us)
+      .Field("dollars_month_total", dollars_month)
+      .Field("max_tenant_unconfirmed_writes",
+             static_cast<std::uint64_t>(fleet_result.max_pending))
+      .Field("s_limit", static_cast<std::uint64_t>(TenantConfig().safety))
+      .Emit();
+
+  // Fairness acceptance: no tenant's unconfirmed window may exceed its own
+  // S (+1 for the write a blocked Submit has already enqueued).
+  if (fleet_result.max_pending > TenantConfig().safety + 1) {
+    std::fprintf(stderr, "FAIL: unconfirmed window %zu exceeded S=%zu\n",
+                 fleet_result.max_pending, TenantConfig().safety);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ginja::bench
+
+int main(int argc, char** argv) {
+  ginja::bench::FleetBenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opts.tenants = 8;
+      opts.base_txns = 60;
+    } else if (std::strncmp(argv[i], "--tenants=", 10) == 0) {
+      opts.tenants = std::max(1, std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--txns=", 7) == 0) {
+      opts.base_txns = std::max(8, std::atoi(argv[i] + 7));
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  return ginja::bench::Run(opts);
+}

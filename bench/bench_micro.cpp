@@ -345,6 +345,37 @@ BENCHMARK(BM_MemoryStoreGetParallel)
     ->Threads(8)
     ->UseRealTime();
 
+// Concurrent LISTs against one MemoryStore holding many objects. Guards
+// the companion fix on List: the matching range is copied under the
+// mutex, but the ObjectMeta name strings are built outside it. A fleet
+// multiplies this pattern — every tenant's recovery and GC issues LISTs
+// against the shared backing store.
+void BM_MemoryStoreListParallel(benchmark::State& state) {
+  static std::shared_ptr<MemoryStore> store = [] {
+    auto s = std::make_shared<MemoryStore>();
+    for (int t = 0; t < 16; ++t) {
+      for (int i = 0; i < 256; ++i) {
+        (void)s->Put("t/" + std::to_string(t) + "/WAL/" + std::to_string(i),
+                     Bytes(64, 'x'));
+      }
+    }
+    return s;
+  }();
+  std::uint64_t names = 0;
+  int tenant = 0;
+  for (auto _ : state) {
+    auto list = store->List("t/" + std::to_string(tenant) + "/");
+    names += list.value().size();
+    tenant = (tenant + 1) & 15;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(names));
+}
+BENCHMARK(BM_MemoryStoreListParallel)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
 // End-to-end Submit ingest with the tracer in each of its three states:
 //   0 = no Observability bundle attached at all
 //   1 = bundle attached, tracer disabled (the production default)

@@ -1,7 +1,13 @@
 #!/usr/bin/env python3
 """Validate an OBS_SNAPSHOT metrics snapshot against ci/metrics_schema.json.
 
-Usage: check_metrics_schema.py <schema.json> <snapshot.json>
+Usage: check_metrics_schema.py <schema.json> <snapshot.json> [fleet]
+
+With the optional third argument 'fleet', additionally enforces the
+schema's fleet_required_labelled section: each listed metric must appear
+as multiple series distinguished by the given label (e.g. 'tenant'),
+with at least min_distinct distinct label values. Used against the
+OBS_SNAPSHOT line from bench_fleet.
 
 Standard library only (CI runners and dev machines both have python3; the
 schema is deliberately simple enough not to need the jsonschema package).
@@ -22,7 +28,11 @@ def fail(errors):
 
 
 def main():
-    if len(sys.argv) != 3:
+    if len(sys.argv) not in (3, 4):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    fleet_mode = len(sys.argv) == 4
+    if fleet_mode and sys.argv[3] != "fleet":
         print(__doc__, file=sys.stderr)
         sys.exit(2)
     with open(sys.argv[1]) as f:
@@ -42,6 +52,7 @@ def main():
     name_re = re.compile(schema["name_pattern"])
     sample_keys = schema["sample_keys"]
     seen = set()  # (name, kind)
+    label_values = {}  # (name, kind, label) -> set of values
     populated_stages = set()
     stage_series = set()  # every registered ginja_stage_latency_us label
     for i, sample in enumerate(metrics):
@@ -66,6 +77,10 @@ def main():
             elif not isinstance(sample[key], (int, float)):
                 errors.append(f"{where}: '{key}' must be numeric")
         seen.add((name, kind))
+        labels = sample.get("labels")
+        if isinstance(labels, dict):
+            for lk, lv in labels.items():
+                label_values.setdefault((name, kind, lk), set()).add(str(lv))
         if name == "ginja_stage_latency_us":
             stage_series.add(sample["labels"].get("stage", f"#{i}"))
             if sample.get("count", 0) > 0:
@@ -83,6 +98,20 @@ def main():
                 f"stage='{stage}' (streaming trace stages must stay "
                 f"registered even when the feature is off)")
 
+    fleet_tenants = set()
+    if fleet_mode:
+        for want in schema.get("fleet_required_labelled", []):
+            values = label_values.get(
+                (want["name"], want["kind"], want["label"]), set())
+            if len(values) < want["min_distinct"]:
+                errors.append(
+                    f"fleet: {want['name']} ({want['kind']}) has "
+                    f"{len(values)} distinct '{want['label']}' label "
+                    f"value(s), need >= {want['min_distinct']} — per-tenant "
+                    f"series must not collapse into one fleet-wide series")
+            if want["label"] == "tenant":
+                fleet_tenants |= values
+
     min_stages = schema["min_populated_stage_series"]
     if len(populated_stages) < min_stages:
         errors.append(
@@ -92,9 +121,10 @@ def main():
 
     if errors:
         fail(errors)
+    suffix = f", {len(fleet_tenants)} tenants" if fleet_mode else ""
     print(f"metrics-schema: OK — {len(metrics)} series, "
           f"{len(populated_stages)} populated trace stages "
-          f"({', '.join(sorted(populated_stages))})")
+          f"({', '.join(sorted(populated_stages))}){suffix}")
 
 
 if __name__ == "__main__":

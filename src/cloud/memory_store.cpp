@@ -49,10 +49,10 @@ Status MemoryStore::Put(std::string_view name, ByteView data) {
   // taking the map lock, so K concurrent PUTs — latency benches with the
   // Instant profile especially — serialize only on the map insert, not on
   // the memcpy.
-  auto copy = std::make_shared<const Bytes>(data.begin(), data.end());
-  std::string key(name);
+  auto copy = std::make_shared<const StoredObject>(
+      StoredObject{std::string(name), Bytes(data.begin(), data.end())});
   std::lock_guard<std::mutex> lock(mu_);
-  objects_.insert_or_assign(std::move(key), std::move(copy));
+  objects_.insert_or_assign(copy->name, std::move(copy));
   return Status::Ok();
 }
 
@@ -61,7 +61,7 @@ Result<Bytes> MemoryStore::Get(std::string_view name) {
   // payload after releasing it. Values are immutable once inserted, so
   // the copy reads a stable blob even if the name is concurrently
   // overwritten or deleted.
-  std::shared_ptr<const Bytes> blob;
+  std::shared_ptr<const StoredObject> blob;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = objects_.find(name);
@@ -70,15 +70,27 @@ Result<Bytes> MemoryStore::Get(std::string_view name) {
     }
     blob = it->second;
   }
-  return *blob;
+  return blob->data;
 }
 
 Result<std::vector<ObjectMeta>> MemoryStore::List(std::string_view prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Collect the matching range as shared_ptrs under the lock; build the
+  // ObjectMeta name strings (one allocation + copy per object — the
+  // expensive part of a fleet-wide recovery or GC LIST) after releasing
+  // it. Each StoredObject carries its own name, so this stays correct even
+  // if entries are concurrently deleted or overwritten.
+  std::vector<std::shared_ptr<const StoredObject>> matched;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      matched.push_back(it->second);
+    }
+  }
   std::vector<ObjectMeta> out;
-  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
-    out.push_back({it->first, it->second->size()});
+  out.reserve(matched.size());
+  for (const auto& object : matched) {
+    out.push_back({object->name, object->data.size()});
   }
   return out;
 }
@@ -102,7 +114,7 @@ std::size_t MemoryStore::ObjectCount() const {
 std::uint64_t MemoryStore::TotalBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::uint64_t total = 0;
-  for (const auto& [name, data] : objects_) total += data->size();
+  for (const auto& [name, object] : objects_) total += object->data.size();
   return total;
 }
 

@@ -27,10 +27,19 @@ class MemoryStore : public ObjectStore {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
   // Values are shared immutable blobs so Get can copy the payload outside
   // mu_ — only the map lookup serializes (mirror of the Put-side copy).
-  std::map<std::string, std::shared_ptr<const Bytes>, std::less<>> objects_;
+  // The value carries its own name so List can also build its ObjectMeta
+  // strings outside the lock: a collected shared_ptr stays valid even if
+  // the map entry (and its key string) is concurrently erased.
+  struct StoredObject {
+    std::string name;
+    Bytes data;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const StoredObject>, std::less<>>
+      objects_;
 };
 
 }  // namespace ginja

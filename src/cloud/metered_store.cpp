@@ -1,5 +1,7 @@
 #include "cloud/metered_store.h"
 
+#include <algorithm>
+
 namespace ginja {
 
 namespace {
@@ -183,30 +185,36 @@ double MeteredStore::AccruedCost(const PriceBook& prices) const {
 }
 
 void MeteredStore::RegisterMetrics(MetricsRegistry* registry,
-                                   const PriceBook& prices) {
+                                   const PriceBook& prices,
+                                   MetricLabels labels) {
   if (registry_) registry_->Unregister(this);
   registry_ = registry;
   if (!registry_) return;
-  registry_->RegisterGauge(this, "ginja_cloud_puts", {}, [this] {
+  registry_->RegisterGauge(this, "ginja_cloud_puts", labels, [this] {
     return static_cast<double>(Usage().puts);
   });
-  registry_->RegisterGauge(this, "ginja_cloud_gets", {}, [this] {
+  registry_->RegisterGauge(this, "ginja_cloud_gets", labels, [this] {
     return static_cast<double>(Usage().gets);
   });
-  registry_->RegisterGauge(this, "ginja_cloud_deletes", {}, [this] {
+  registry_->RegisterGauge(this, "ginja_cloud_deletes", labels, [this] {
     return static_cast<double>(Usage().deletes);
   });
-  registry_->RegisterGauge(this, "ginja_cloud_bytes_uploaded", {}, [this] {
+  registry_->RegisterGauge(this, "ginja_cloud_bytes_uploaded", labels, [this] {
     return static_cast<double>(Usage().bytes_uploaded);
   });
-  registry_->RegisterGauge(this, "ginja_cloud_bytes_downloaded", {}, [this] {
-    return static_cast<double>(Usage().bytes_downloaded);
-  });
-  registry_->RegisterGauge(this, "ginja_cloud_storage_bytes", {}, [this] {
+  registry_->RegisterGauge(this, "ginja_cloud_bytes_downloaded", labels,
+                           [this] {
+                             return static_cast<double>(
+                                 Usage().bytes_downloaded);
+                           });
+  registry_->RegisterGauge(this, "ginja_cloud_storage_bytes", labels, [this] {
     return static_cast<double>(Usage().current_storage_bytes);
   });
+  MetricLabels cost_labels = labels;
+  cost_labels.emplace_back("provider", prices.provider);
+  std::sort(cost_labels.begin(), cost_labels.end());
   registry_->RegisterGauge(this, "ginja_cost_accrued_dollars",
-                           {{"provider", prices.provider}},
+                           std::move(cost_labels),
                            [this, prices] { return AccruedCost(prices); });
 }
 

@@ -63,7 +63,10 @@ class MeteredStore : public ObjectStore {
 
   // Registers usage gauges (requests, bytes, storage, accrued dollars under
   // `prices`) into `registry`; undone automatically by the destructor.
-  void RegisterMetrics(MetricsRegistry* registry, const PriceBook& prices);
+  // `labels` is attached to every series (e.g. {tenant=<id>} for a fleet
+  // member's per-tenant cost gauges).
+  void RegisterMetrics(MetricsRegistry* registry, const PriceBook& prices,
+                       MetricLabels labels = {});
 
   ~MeteredStore() override;
 

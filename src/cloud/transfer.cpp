@@ -110,9 +110,14 @@ void TransferManager::Fail(Op& op, const Status& status) {
     op.status_result.set_value(status);
   }
   if (op.done) op.done(status);
+  if (op.account) op.account->OnDone(status, 0);
 }
 
 bool TransferManager::Enqueue(Op op) {
+  // The account sees the op as pending from before the queue decision, so
+  // WaitIdle cannot miss it; both outcomes (queued-then-executed, failed
+  // here) settle it exactly once.
+  if (op.account) op.account->OnEnqueue();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!cancelled_.load(std::memory_order_acquire) && !stop_) {
@@ -125,75 +130,93 @@ bool TransferManager::Enqueue(Op op) {
   return false;
 }
 
-std::future<Result<Bytes>> TransferManager::GetAsync(std::string name) {
+std::future<Result<Bytes>> TransferManager::GetAsync(TransferRoute route,
+                                                     std::string name) {
   Op op;
   op.kind = Op::Kind::kGet;
   op.name = std::move(name);
+  op.store = std::move(route.store);
+  op.account = std::move(route.account);
   auto future = op.get_result.get_future();
   Enqueue(std::move(op));
   return future;
 }
 
-std::future<Status> TransferManager::PutAsync(std::string name, Bytes data) {
+std::future<Status> TransferManager::PutAsync(TransferRoute route,
+                                              std::string name, Bytes data) {
   Op op;
   op.kind = Op::Kind::kPut;
   op.name = std::move(name);
   op.data = std::move(data);
+  op.store = std::move(route.store);
+  op.account = std::move(route.account);
   auto future = op.status_result.get_future();
   Enqueue(std::move(op));
   return future;
 }
 
-std::future<Status> TransferManager::DeleteAsync(std::string name) {
+std::future<Status> TransferManager::DeleteAsync(TransferRoute route,
+                                                 std::string name) {
   Op op;
   op.kind = Op::Kind::kDelete;
   op.name = std::move(name);
+  op.store = std::move(route.store);
+  op.account = std::move(route.account);
   auto future = op.status_result.get_future();
   Enqueue(std::move(op));
   return future;
 }
 
-void TransferManager::PutAsyncCb(std::string name, Bytes data,
-                                 std::function<void(Status)> done) {
+void TransferManager::PutAsyncCb(TransferRoute route, std::string name,
+                                 Bytes data, std::function<void(Status)> done) {
   Op op;
   op.kind = Op::Kind::kPut;
   op.name = std::move(name);
   op.data = std::move(data);
   op.done = std::move(done);
+  op.store = std::move(route.store);
+  op.account = std::move(route.account);
   Enqueue(std::move(op));
 }
 
-void TransferManager::DeleteAsyncCb(std::string name,
+void TransferManager::DeleteAsyncCb(TransferRoute route, std::string name,
                                     std::function<void(Status)> done) {
   Op op;
   op.kind = Op::Kind::kDelete;
   op.name = std::move(name);
   op.done = std::move(done);
+  op.store = std::move(route.store);
+  op.account = std::move(route.account);
   Enqueue(std::move(op));
 }
 
-std::future<Status> TransferManager::SubmitFn(std::function<Status()> fn,
+std::future<Status> TransferManager::SubmitFn(TransferRoute route,
+                                              std::function<Status()> fn,
                                               std::function<void(Status)> done) {
   Op op;
   op.kind = Op::Kind::kFn;
   op.name = "<fn>";
   op.fn = std::move(fn);
   op.done = std::move(done);
+  op.store = std::move(route.store);
+  op.account = std::move(route.account);
   auto future = op.status_result.get_future();
   Enqueue(std::move(op));
   return future;
 }
 
-StreamSessionPtr TransferManager::BeginStream(std::string staging_hint) {
+StreamSessionPtr TransferManager::BeginStream(TransferRoute route,
+                                              std::string staging_hint) {
   stats_.streams_opened.Add();
-  return StreamSessionPtr(new StreamSession(this, std::move(staging_hint)));
+  return StreamSessionPtr(
+      new StreamSession(this, std::move(route), std::move(staging_hint)));
 }
 
 std::vector<Status> TransferManager::DeleteAll(
-    const std::vector<std::string>& names) {
+    TransferRoute route, const std::vector<std::string>& names) {
   std::vector<std::future<Status>> futures;
   futures.reserve(names.size());
-  for (const auto& name : names) futures.push_back(DeleteAsync(name));
+  for (const auto& name : names) futures.push_back(DeleteAsync(route, name));
   std::vector<Status> statuses;
   statuses.reserve(names.size());
   for (auto& f : futures) statuses.push_back(f.get());
@@ -211,14 +234,17 @@ void TransferManager::Cancel() {
   for (auto& op : orphans) Fail(op, Status::Aborted("transfer manager cancelled"));
 }
 
-bool TransferManager::BackoffSleep(std::uint64_t micros) {
+bool TransferManager::BackoffSleep(std::uint64_t micros,
+                                   const TransferAccount* account) {
   while (micros > 0) {
     if (cancelled_.load(std::memory_order_acquire)) return false;
+    if (account && account->cancelled()) return false;
     const std::uint64_t slice = std::min(micros, kSleepSliceUs);
     clock_->SleepMicros(slice);
     micros -= slice;
   }
-  return !cancelled_.load(std::memory_order_acquire);
+  return !cancelled_.load(std::memory_order_acquire) &&
+         !(account && account->cancelled());
 }
 
 void TransferManager::WorkerLoop() {
@@ -237,6 +263,10 @@ void TransferManager::WorkerLoop() {
       op = std::move(queue_.front());
       queue_.pop_front();
     }
+    if (op.account && op.account->cancelled()) {
+      Fail(op, Status::Aborted("transfer account cancelled"));
+      continue;
+    }
     const int now_inflight =
         stats_.inflight.fetch_add(1, std::memory_order_relaxed) + 1;
     int peak = stats_.peak_inflight.load(std::memory_order_relaxed);
@@ -251,11 +281,15 @@ void TransferManager::WorkerLoop() {
 
 void TransferManager::Execute(Op& op) {
   const std::uint64_t started = clock_->NowMicros();
+  // The op's route may override the manager's store (a fleet tenant's
+  // namespaced stack); the worker pool, retry policy, and in-flight
+  // window stay shared either way.
+  ObjectStore* store = op.store ? op.store.get() : store_.get();
   Status last(ErrorCode::kUnavailable, "not attempted");
   for (int attempt = 1;; ++attempt) {
     switch (op.kind) {
       case Op::Kind::kGet: {
-        auto blob = store_->Get(op.name);
+        auto blob = store->Get(op.name);
         if (blob.ok()) {
           stats_.gets.Add();
           stats_.bytes_downloaded.Add(blob->size());
@@ -263,13 +297,14 @@ void TransferManager::Execute(Op& op) {
               static_cast<double>(clock_->NowMicros() - started));
           op.get_result.set_value(std::move(blob));
           if (op.done) op.done(Status::Ok());
+          if (op.account) op.account->OnDone(Status::Ok(), 0);
           return;
         }
         last = blob.status();
         break;
       }
       case Op::Kind::kPut: {
-        Status st = store_->Put(op.name, View(op.data));
+        Status st = store->Put(op.name, View(op.data));
         if (st.ok()) {
           stats_.puts.Add();
           stats_.bytes_uploaded.Add(op.data.size());
@@ -277,19 +312,21 @@ void TransferManager::Execute(Op& op) {
               static_cast<double>(clock_->NowMicros() - started));
           op.status_result.set_value(st);
           if (op.done) op.done(st);
+          if (op.account) op.account->OnDone(st, op.data.size());
           return;
         }
         last = st;
         break;
       }
       case Op::Kind::kDelete: {
-        Status st = store_->Delete(op.name);
+        Status st = store->Delete(op.name);
         if (st.ok()) {
           stats_.deletes.Add();
           stats_.delete_latency_us.Record(
               static_cast<double>(clock_->NowMicros() - started));
           op.status_result.set_value(st);
           if (op.done) op.done(st);
+          if (op.account) op.account->OnDone(st, 0);
           return;
         }
         last = st;
@@ -300,6 +337,7 @@ void TransferManager::Execute(Op& op) {
         if (st.ok()) {
           op.status_result.set_value(st);
           if (op.done) op.done(st);
+          if (op.account) op.account->OnDone(st, 0);
           return;
         }
         last = st;
@@ -308,11 +346,12 @@ void TransferManager::Execute(Op& op) {
     }
     if (!RetryPolicy::Retryable(last.code()) ||
         attempt >= options_.max_attempts ||
-        cancelled_.load(std::memory_order_acquire)) {
+        cancelled_.load(std::memory_order_acquire) ||
+        (op.account && op.account->cancelled())) {
       break;
     }
-    if (!BackoffSleep(retry_.NextBackoffUs(attempt))) {
-      last = Status::Aborted("transfer manager cancelled");
+    if (!BackoffSleep(retry_.NextBackoffUs(attempt), op.account.get())) {
+      last = Status::Aborted("transfer cancelled");
       break;
     }
   }
@@ -325,8 +364,10 @@ void TransferManager::Execute(Op& op) {
   Fail(op, last);
 }
 
-StreamSession::StreamSession(TransferManager* manager, std::string staging_hint)
+StreamSession::StreamSession(TransferManager* manager, TransferRoute route,
+                             std::string staging_hint)
     : manager_(manager),
+      route_(std::move(route)),
       staging_hint_(std::move(staging_hint)),
       opened_us_(manager->clock_->NowMicros()) {}
 
@@ -334,7 +375,9 @@ Status StreamSession::EnsureWriter() {
   // Worker-side: only the single in-flight operation touches writer_, and
   // op_inflight_ transitions under mu_ order those touches.
   if (writer_) return Status::Ok();
-  auto writer = manager_->store_->BeginStreaming(staging_hint_);
+  ObjectStore* store =
+      route_.store ? route_.store.get() : manager_->store_.get();
+  auto writer = store->BeginStreaming(staging_hint_);
   if (!writer.ok()) return writer.status();
   writer_ = std::move(*writer);
   return Status::Ok();
@@ -469,8 +512,11 @@ void StreamSession::Pump() {
   }
   // Outside mu_: a synchronous failure (manager cancelled) invokes `done`
   // on this thread, which re-enters via On*Done -> Pump and returns on
-  // failed_ without deadlocking.
-  manager_->SubmitFn(std::move(fn), std::move(done));
+  // failed_ without deadlocking. The session's route bills each writer
+  // operation to the tenant's account.
+  TransferRoute route;
+  route.account = route_.account;
+  manager_->SubmitFn(std::move(route), std::move(fn), std::move(done));
 }
 
 void StreamSession::OnPartDone(std::uint32_t index, std::uint64_t started_us,

@@ -90,6 +90,87 @@ class RetryPolicy {
   Counter* retries_;
 };
 
+// Per-tenant scope for operations submitted to a *shared* TransferManager.
+// A fleet runs one manager (one worker pool, one global in-flight window)
+// for all tenants; each tenant tags its operations with an account so that
+//   * usage is attributed (ops/bytes per tenant),
+//   * one tenant can be cancelled (its queued ops fail with ABORTED, its
+//     backoff sleeps are interrupted) without touching the others — the
+//     per-tenant analogue of TransferManager::Cancel(), and
+//   * a tenant's shutdown can WaitIdle() until none of its operations are
+//     queued or executing, without draining the whole pool.
+class TransferAccount {
+ public:
+  explicit TransferAccount(std::string id) : id_(std::move(id)) {}
+
+  const std::string& id() const { return id_; }
+
+  // Terminal for this account only: queued operations fail with ABORTED
+  // when a worker picks them up, in-flight retries stop at the next
+  // backoff check. Other accounts are unaffected.
+  void Cancel() {
+    cancelled_.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_.notify_all();
+  }
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  // Blocks until no operation of this account is queued or executing.
+  void WaitIdle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return pending_ == 0; });
+  }
+
+  std::uint64_t ops_completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t ops_failed() const {
+    return failed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_uploaded() const {
+    return bytes_uploaded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class TransferManager;
+
+  void OnEnqueue() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  void OnDone(const Status& status, std::size_t uploaded) {
+    if (status.ok()) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      bytes_uploaded_.fetch_add(uploaded, std::memory_order_relaxed);
+    } else {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) cv_.notify_all();
+  }
+
+  std::string id_;
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> bytes_uploaded_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int pending_ = 0;  // queued or executing operations (guarded by mu_)
+};
+
+using TransferAccountPtr = std::shared_ptr<TransferAccount>;
+
+// Routing for one submission on a shared manager: which store the
+// operation runs against (null = the manager's own store; a fleet tenant
+// passes its TenantNamespace-wrapped stack) and which account it bills
+// to (null = unaccounted). Default-constructed == the classic
+// single-tenant behaviour.
+struct TransferRoute {
+  ObjectStorePtr store;
+  TransferAccountPtr account;
+};
+
 struct TransferStats {
   Counter gets;              // successful operations
   Counter puts;
@@ -157,7 +238,8 @@ class StreamSession : public std::enable_shared_from_this<StreamSession> {
  private:
   friend class TransferManager;
 
-  StreamSession(TransferManager* manager, std::string staging_hint);
+  StreamSession(TransferManager* manager, TransferRoute route,
+                std::string staging_hint);
 
   // Submits the next runnable writer operation, if any. At most one is in
   // flight per session; completion re-enters Pump from the worker.
@@ -172,6 +254,7 @@ class StreamSession : public std::enable_shared_from_this<StreamSession> {
   std::vector<std::function<void(Status)>> FailLocked(const Status& status);
 
   TransferManager* manager_;
+  TransferRoute route_;
   std::string staging_hint_;
   std::uint64_t opened_us_;
   ObjectWriterPtr writer_;  // touched only by the single in-flight op
@@ -204,28 +287,59 @@ class TransferManager {
   TransferManager(const TransferManager&) = delete;
   TransferManager& operator=(const TransferManager&) = delete;
 
-  std::future<Result<Bytes>> GetAsync(std::string name);
-  std::future<Status> PutAsync(std::string name, Bytes data);
-  std::future<Status> DeleteAsync(std::string name);
+  std::future<Result<Bytes>> GetAsync(std::string name) {
+    return GetAsync({}, std::move(name));
+  }
+  std::future<Status> PutAsync(std::string name, Bytes data) {
+    return PutAsync({}, std::move(name), std::move(data));
+  }
+  std::future<Status> DeleteAsync(std::string name) {
+    return DeleteAsync({}, std::move(name));
+  }
+
+  // Routed variants: the operation runs against `route.store` (the
+  // manager's own store when null) and is attributed to `route.account`.
+  // This is how N namespaced tenants share one pool and one in-flight
+  // window.
+  std::future<Result<Bytes>> GetAsync(TransferRoute route, std::string name);
+  std::future<Status> PutAsync(TransferRoute route, std::string name,
+                               Bytes data);
+  std::future<Status> DeleteAsync(TransferRoute route, std::string name);
 
   // Callback variants: `done` fires exactly once from a worker thread
   // with the final status (after retries), sparing callers a future they
   // would only poll. The callback must not block for long — it runs on
   // the pool and stalls a worker while it does.
   void PutAsyncCb(std::string name, Bytes data,
+                  std::function<void(Status)> done) {
+    PutAsyncCb({}, std::move(name), std::move(data), std::move(done));
+  }
+  void DeleteAsyncCb(std::string name, std::function<void(Status)> done) {
+    DeleteAsyncCb({}, std::move(name), std::move(done));
+  }
+  void PutAsyncCb(TransferRoute route, std::string name, Bytes data,
                   std::function<void(Status)> done);
-  void DeleteAsyncCb(std::string name, std::function<void(Status)> done);
+  void DeleteAsyncCb(TransferRoute route, std::string name,
+                     std::function<void(Status)> done);
 
   // Runs an arbitrary store-touching closure on the pool under the shared
   // retry policy (`fn` is re-invoked on retryable errors, so it must be
   // retry-safe). Building block for StreamSession's writer operations.
   std::future<Status> SubmitFn(std::function<Status()> fn,
+                               std::function<void(Status)> done = nullptr) {
+    return SubmitFn({}, std::move(fn), std::move(done));
+  }
+  std::future<Status> SubmitFn(TransferRoute route, std::function<Status()> fn,
                                std::function<void(Status)> done = nullptr);
 
   // Opens a streamed object upload (see StreamSession above).
   // `staging_hint` names the backend's in-progress upload and must be
-  // unique among concurrently open streams.
-  StreamSessionPtr BeginStream(std::string staging_hint);
+  // unique among concurrently open streams (a TenantNamespace store makes
+  // it so across tenants by scoping the hint).
+  StreamSessionPtr BeginStream(std::string staging_hint) {
+    return BeginStream({}, std::move(staging_hint));
+  }
+  StreamSessionPtr BeginStream(TransferRoute route, std::string staging_hint);
 
   // Blocking conveniences.
   Result<Bytes> Get(std::string name) { return GetAsync(std::move(name)).get(); }
@@ -234,7 +348,11 @@ class TransferManager {
   }
   // Fans the deletes out across the pool and waits for all of them.
   // Returns one status per name, index-aligned.
-  std::vector<Status> DeleteAll(const std::vector<std::string>& names);
+  std::vector<Status> DeleteAll(const std::vector<std::string>& names) {
+    return DeleteAll({}, names);
+  }
+  std::vector<Status> DeleteAll(TransferRoute route,
+                                const std::vector<std::string>& names);
 
   // Terminal: fails queued operations with ABORTED, interrupts backoff
   // sleeps, and makes subsequent submissions fail immediately.
@@ -261,13 +379,19 @@ class TransferManager {
     std::promise<Status> status_result;       // fulfilled otherwise
     // Optional completion hook, any kind; invoked after the promise.
     std::function<void(Status)> done;
+    // Per-op routing: store override + billing account (see TransferRoute).
+    ObjectStorePtr store;
+    TransferAccountPtr account;
   };
 
   void WorkerLoop();
   void Execute(Op& op);
+  // Fails the op and settles its account (exactly one of Fail/Execute
+  // completes each enqueued op).
   static void Fail(Op& op, const Status& status);
-  // Sleeps `micros` of model time in small slices; false when cancelled.
-  bool BackoffSleep(std::uint64_t micros);
+  // Sleeps `micros` of model time in small slices; false when the manager
+  // (or the op's account) is cancelled.
+  bool BackoffSleep(std::uint64_t micros, const TransferAccount* account);
   bool Enqueue(Op op);  // false (op already failed) when cancelled
 
   ObjectStorePtr store_;

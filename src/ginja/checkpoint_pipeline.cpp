@@ -6,6 +6,7 @@
 #include <map>
 #include <utility>
 
+#include "ginja/fleet_runtime.h"
 #include "obs/log.h"
 
 namespace ginja {
@@ -22,39 +23,53 @@ CheckpointPipeline::CheckpointPipeline(ObjectStorePtr store,
       config_(config),
       envelope_(std::move(envelope)),
       local_vfs_(std::move(local_vfs)),
-      layout_(layout),
-      transfer_(std::make_unique<TransferManager>(
-          store_, MakeTransferOptions(config_, config_.transfer_concurrency),
-          clock_)) {
+      layout_(layout) {
+  if (config_.runtime) {
+    // Fleet mode: part PUTs and GC deletes run on the runtime's shared
+    // manager (which carries its own "fleet" metrics), billed to this
+    // tenant's account.
+    transfer_ = config_.runtime->transfers();
+    account_ = std::make_shared<TransferAccount>(config_.tenant_id);
+  } else {
+    transfer_ = std::make_shared<TransferManager>(
+        store_, MakeTransferOptions(config_, config_.transfer_concurrency),
+        clock_);
+    if (config_.obs) {
+      transfer_->RegisterMetrics(&config_.obs->registry, "checkpoint");
+    }
+  }
   if (config_.obs) {
     tracer_ = &config_.obs->tracer;
     RegisterMetrics();
-    transfer_->RegisterMetrics(&config_.obs->registry, "checkpoint");
   }
 }
 
 CheckpointPipeline::~CheckpointPipeline() {
   if (config_.obs) config_.obs->registry.Unregister(this);
   Kill();
+  // Fleet: the shared manager outlives this pipeline; wait out any of this
+  // account's operations still on the pool (Kill cancelled them, so queued
+  // ones fail fast) before members they reference are destroyed.
+  if (account_) account_->WaitIdle();
 }
 
 void CheckpointPipeline::RegisterMetrics() {
   MetricsRegistry& r = config_.obs->registry;
-  r.RegisterCounter(this, "ginja_checkpoint_checkpoints_uploaded_total", {},
+  r.RegisterCounter(this, "ginja_checkpoint_checkpoints_uploaded_total", Labels(),
                     &stats_.checkpoints_uploaded);
-  r.RegisterCounter(this, "ginja_checkpoint_dumps_uploaded_total", {},
+  r.RegisterCounter(this, "ginja_checkpoint_dumps_uploaded_total", Labels(),
                     &stats_.dumps_uploaded);
-  r.RegisterCounter(this, "ginja_checkpoint_db_objects_uploaded_total", {},
+  r.RegisterCounter(this, "ginja_checkpoint_db_objects_uploaded_total", Labels(),
                     &stats_.db_objects_uploaded);
-  r.RegisterCounter(this, "ginja_checkpoint_bytes_uploaded_total", {},
+  r.RegisterCounter(this, "ginja_checkpoint_bytes_uploaded_total", Labels(),
                     &stats_.bytes_uploaded);
-  r.RegisterCounter(this, "ginja_gc_wal_objects_deleted_total", {},
+  r.RegisterCounter(this, "ginja_gc_wal_objects_deleted_total", Labels(),
                     &stats_.wal_objects_deleted);
-  r.RegisterCounter(this, "ginja_gc_wal_tails_deleted_total", {},
+  r.RegisterCounter(this, "ginja_gc_wal_tails_deleted_total", Labels(),
                     &stats_.wal_tails_deleted);
-  r.RegisterCounter(this, "ginja_gc_db_objects_deleted_total", {},
+  r.RegisterCounter(this, "ginja_gc_db_objects_deleted_total", Labels(),
                     &stats_.db_objects_deleted);
-  r.RegisterGauge(this, "ginja_checkpoint_inflight_jobs", {}, [this] {
+  r.RegisterGauge(this, "ginja_checkpoint_inflight_jobs", Labels(), [this] {
     std::lock_guard<std::mutex> lock(mu_);
     return static_cast<double>(inflight_jobs_);
   });
@@ -78,8 +93,13 @@ void CheckpointPipeline::Kill() {
   idle_cv_.notify_all();
   frontier_cv_.notify_all();
   // Abort queued/retrying transfers so the checkpointer's future waits
-  // resolve and the thread can observe killed_.
-  transfer_->Cancel();
+  // resolve and the thread can observe killed_. On a shared fleet manager
+  // only this tenant's account is cancelled; other tenants keep running.
+  if (account_) {
+    account_->Cancel();
+  } else {
+    transfer_->Cancel();
+  }
   queue_.Close();
   if (thread_.joinable()) thread_.join();
 }
@@ -333,7 +353,7 @@ void CheckpointPipeline::CheckpointerLoop() {
       p.size = enveloped_size;
       p.submit_us = Tracing() ? clock_->NowMicros() : 0;
       p.trace_id = (seq << 16) | part;
-      p.status = transfer_->PutAsync(id.Encode(), std::move(enveloped));
+      p.status = transfer_->PutAsync(Route(), id.Encode(), std::move(enveloped));
       inflight.push_back(std::move(p));
       ids.push_back(id);
     }
@@ -408,7 +428,7 @@ void CheckpointPipeline::GarbageCollect(const DbObjectJob& job,
   }
   if (names.empty()) return;
 
-  const std::vector<Status> statuses = transfer_->DeleteAll(names);
+  const std::vector<Status> statuses = transfer_->DeleteAll(Route(), names);
   std::size_t i = 0;
   std::size_t failed = 0;
   for (const auto& wal : wal_victims) {
@@ -437,7 +457,7 @@ void CheckpointPipeline::GarbageCollect(const DbObjectJob& job,
   }
   // Failed deletes stay in the view and are retried by the next GC pass —
   // they cost storage dollars in the meantime, so leave a trace.
-  if (failed > 0 && !transfer_->cancelled()) {
+  if (failed > 0 && !Cancelled()) {
     Log(LogLevel::kWarn, "checkpoint", "garbage collection incomplete",
         {{"failed_deletes", static_cast<std::uint64_t>(failed)},
          {"victims", static_cast<std::uint64_t>(names.size())}});

@@ -112,6 +112,20 @@ class CheckpointPipeline {
   std::vector<FileEntry> BuildDumpEntries() const;
   void GarbageCollect(const DbObjectJob& job, std::uint64_t uploaded_seq);
   void RegisterMetrics();
+  // {tenant=<id>} for a fleet member, empty standalone (see CommitPipeline).
+  MetricLabels Labels() const {
+    return config_.tenant_id.empty()
+               ? MetricLabels{}
+               : MetricLabels{{"tenant", config_.tenant_id}};
+  }
+  // Route for transfer operations: this pipeline's store, billed to the
+  // tenant's account in fleet mode.
+  TransferRoute Route() const { return {store_, account_}; }
+  // "Transfers were aborted": the whole manager standalone, just this
+  // tenant's account on a shared fleet manager.
+  bool Cancelled() const {
+    return account_ ? account_->cancelled() : transfer_->cancelled();
+  }
   bool Tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
 
   ObjectStorePtr store_;
@@ -123,7 +137,12 @@ class CheckpointPipeline {
   DbLayout layout_;
   // Concurrent part PUTs and GC DELETE fan-out; shared retry policy
   // (jittered exponential backoff) instead of the old fixed-delay loop.
-  std::unique_ptr<TransferManager> transfer_;
+  // Privately owned standalone; aliases the fleet runtime's shared manager
+  // when config_.runtime is set (ops then carry Route()).
+  std::shared_ptr<TransferManager> transfer_;
+  // Fleet mode only: scopes Kill() cancellation and destructor quiescence
+  // to this tenant's operations on the shared manager.
+  TransferAccountPtr account_;
   std::shared_ptr<RetentionPolicy> retention_;
   std::function<Lsn()> wal_frontier_fn_;
 

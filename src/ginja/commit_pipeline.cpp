@@ -149,8 +149,19 @@ CommitPipeline::CommitPipeline(ObjectStorePtr store,
     tracer_ = &config_.obs->tracer;
     RegisterMetrics();
   }
-  if (config_.streaming_commit) {
-    stream_transfers_ = std::make_unique<TransferManager>(
+  if (config_.runtime) {
+    // Fleet mode: no private pools. Upload jobs go to the runtime's DRR
+    // scheduler (registered at Start), transfers run on the shared manager
+    // billed to this account, and one thread-safe retry policy serves every
+    // shared worker that picks up this tenant's jobs.
+    account_ = std::make_shared<TransferAccount>(config_.tenant_id);
+    fleet_retry_ = std::make_unique<RetryPolicy>(MakeTransferOptions(config_, 1),
+                                                 &stats_.upload_retries);
+    if (config_.streaming_commit) {
+      stream_transfers_ = config_.runtime->transfers();
+    }
+  } else if (config_.streaming_commit) {
+    stream_transfers_ = std::make_shared<TransferManager>(
         store_,
         MakeTransferOptions(
             config_,
@@ -169,44 +180,55 @@ CommitPipeline::~CommitPipeline() {
   // deletes queued on the stream transfer pool; destroying the members
   // drains them. Kill() here would cancel them for no benefit.
   if (!stopped_clean_.load(std::memory_order_acquire)) Kill();
+  // Fleet mode: the shared manager and scheduler outlive this pipeline, so
+  // quiesce everything that could call back into it. Stop()/Kill() already
+  // deregistered the scheduler queue; WaitIdle covers operations still on
+  // the shared pool (a clean stop's folded-tail deletes drain here, the
+  // standalone analogue of destroying the private manager).
+  if (sched_tenant_ != nullptr) {
+    config_.runtime->scheduler().Deregister(sched_tenant_,
+                                            /*discard_queued=*/true);
+    sched_tenant_ = nullptr;
+  }
+  if (account_) account_->WaitIdle();
 }
 
 void CommitPipeline::RegisterMetrics() {
   MetricsRegistry& r = config_.obs->registry;
-  r.RegisterCounter(this, "ginja_commit_writes_submitted_total", {},
+  r.RegisterCounter(this, "ginja_commit_writes_submitted_total", Labels(),
                     &stats_.writes_submitted);
-  r.RegisterCounter(this, "ginja_commit_batches_uploaded_total", {},
+  r.RegisterCounter(this, "ginja_commit_batches_uploaded_total", Labels(),
                     &stats_.batches_uploaded);
-  r.RegisterCounter(this, "ginja_commit_objects_uploaded_total", {},
+  r.RegisterCounter(this, "ginja_commit_objects_uploaded_total", Labels(),
                     &stats_.objects_uploaded);
-  r.RegisterCounter(this, "ginja_commit_bytes_uploaded_total", {},
+  r.RegisterCounter(this, "ginja_commit_bytes_uploaded_total", Labels(),
                     &stats_.bytes_uploaded);
-  r.RegisterCounter(this, "ginja_commit_blocked_waits_total", {},
+  r.RegisterCounter(this, "ginja_commit_blocked_waits_total", Labels(),
                     &stats_.blocked_waits);
-  r.RegisterCounter(this, "ginja_commit_upload_retries_total", {},
+  r.RegisterCounter(this, "ginja_commit_upload_retries_total", Labels(),
                     &stats_.upload_retries);
-  r.RegisterCounter(this, "ginja_commit_batches_closed_full_total", {},
+  r.RegisterCounter(this, "ginja_commit_batches_closed_full_total", Labels(),
                     &stats_.batches_closed_full);
-  r.RegisterCounter(this, "ginja_commit_batches_closed_deadline_total", {},
+  r.RegisterCounter(this, "ginja_commit_batches_closed_deadline_total", Labels(),
                     &stats_.batches_closed_deadline);
-  r.RegisterCounter(this, "ginja_commit_streams_opened_total", {},
+  r.RegisterCounter(this, "ginja_commit_streams_opened_total", Labels(),
                     &stats_.streams_opened);
-  r.RegisterCounter(this, "ginja_commit_parts_uploaded_total", {},
+  r.RegisterCounter(this, "ginja_commit_parts_uploaded_total", Labels(),
                     &stats_.parts_uploaded);
-  r.RegisterCounter(this, "ginja_commit_tail_objects_uploaded_total", {},
+  r.RegisterCounter(this, "ginja_commit_tail_objects_uploaded_total", Labels(),
                     &stats_.tail_objects_uploaded);
-  r.RegisterCounter(this, "ginja_commit_tail_objects_deleted_total", {},
+  r.RegisterCounter(this, "ginja_commit_tail_objects_deleted_total", Labels(),
                     &stats_.tail_objects_deleted);
-  r.RegisterCounter(this, "ginja_commit_writes_early_acked_total", {},
+  r.RegisterCounter(this, "ginja_commit_writes_early_acked_total", Labels(),
                     &stats_.writes_early_acked);
-  r.RegisterMeter(this, "ginja_commit_object_logical_bytes", {},
+  r.RegisterMeter(this, "ginja_commit_object_logical_bytes", Labels(),
                   &stats_.object_logical_bytes);
-  r.RegisterHistogram(this, "ginja_commit_latency_us", {},
+  r.RegisterHistogram(this, "ginja_commit_latency_us", Labels(),
                       &stats_.commit_latency_us);
-  r.RegisterHistogram(this, "ginja_commit_put_first_byte_us", {},
+  r.RegisterHistogram(this, "ginja_commit_put_first_byte_us", Labels(),
                       &stats_.put_first_byte_us);
   // -- DR exposure gauges (the paper's loss bound, live) ---------------------
-  r.RegisterGauge(this, "ginja_rpo_exposure_writes", {}, [this] {
+  r.RegisterGauge(this, "ginja_rpo_exposure_writes", Labels(), [this] {
     const std::uint64_t completed =
         completed_count_.load(std::memory_order_acquire);
     const std::uint64_t returned =
@@ -216,28 +238,35 @@ void CommitPipeline::RegisterMetrics() {
     return completed >= returned ? 0.0
                                  : static_cast<double>(returned - completed);
   });
-  r.RegisterGauge(this, "ginja_rpo_limit_writes", {}, [this] {
+  r.RegisterGauge(this, "ginja_rpo_limit_writes", Labels(), [this] {
     return static_cast<double>(config_.safety);
   });
-  r.RegisterGauge(this, "ginja_unconfirmed_writes", {}, [this] {
+  r.RegisterGauge(this, "ginja_unconfirmed_writes", Labels(), [this] {
     return static_cast<double>(Unconfirmed());
   });
-  r.RegisterGauge(this, "ginja_oldest_unacked_age_us", {}, [this] {
+  r.RegisterGauge(this, "ginja_oldest_unacked_age_us", Labels(), [this] {
     const std::uint64_t oldest =
         oldest_pending_us_.load(std::memory_order_acquire);
     if (oldest == kNoOldest) return 0.0;
     const std::uint64_t now = coarse_now_us_.load(std::memory_order_acquire);
     return now > oldest ? static_cast<double>(now - oldest) : 0.0;
   });
-  r.RegisterGauge(this, "ginja_wal_frontier_lsn", {}, [this] {
+  r.RegisterGauge(this, "ginja_wal_frontier_lsn", Labels(), [this] {
     return static_cast<double>(frontier_lsn_.load(std::memory_order_acquire));
   });
 }
 
 void CommitPipeline::Start() {
   threads_.emplace_back([this] { AggregatorLoop(); });
-  for (int i = 0; i < config_.uploader_threads; ++i) {
-    threads_.emplace_back([this, i] { UploaderLoop(i); });
+  if (config_.runtime) {
+    // Fleet mode: uploads run on the runtime's shared worker pool, DRR-
+    // scheduled across tenants; only the per-tenant control threads
+    // (aggregator, unlocker) are private.
+    sched_tenant_ = config_.runtime->scheduler().Register(config_.tenant_id);
+  } else {
+    for (int i = 0; i < config_.uploader_threads; ++i) {
+      threads_.emplace_back([this, i] { UploaderLoop(i); });
+    }
   }
   threads_.emplace_back([this] { UnlockerLoop(); });
 }
@@ -271,6 +300,14 @@ void CommitPipeline::Stop() {
     if (t.joinable()) t.join();
   }
   threads_.clear();
+  // Fleet: every batch retired means the scheduler queue is empty; a clean
+  // deregistration just waits out any job still finishing on a shared
+  // worker. After the aggregator joined, nothing can enqueue again.
+  if (sched_tenant_ != nullptr) {
+    config_.runtime->scheduler().Deregister(sched_tenant_,
+                                            /*discard_queued=*/false);
+    sched_tenant_ = nullptr;
+  }
   stopped_clean_.store(true, std::memory_order_release);
 }
 
@@ -294,12 +331,26 @@ void CommitPipeline::Kill() {
   ack_queue_.Close();
   // Abandon in-flight stream parts / tail PUTs; their callbacks fire with
   // ABORTED against the already-closed ack queue. Stop() deliberately does
-  // NOT cancel — it drains.
-  if (stream_transfers_) stream_transfers_->Cancel();
+  // NOT cancel — it drains. Fleet mode cancels only this tenant's account:
+  // the shared manager keeps serving the other tenants.
+  if (account_) {
+    account_->Cancel();
+  } else if (stream_transfers_) {
+    stream_transfers_->Cancel();
+  }
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
   threads_.clear();
+  // Drop queued upload jobs unrun (the crash abandons them) and wait out
+  // the ones a shared worker is already executing — they observe killed_
+  // and bail at their next check. Must follow the aggregator join: a live
+  // aggregator could enqueue into a deregistered (freed) tenant handle.
+  if (sched_tenant_ != nullptr) {
+    config_.runtime->scheduler().Deregister(sched_tenant_,
+                                            /*discard_queued=*/true);
+    sched_tenant_ = nullptr;
+  }
 }
 
 std::uint64_t CommitPipeline::Unconfirmed() const {
@@ -705,7 +756,7 @@ void CommitPipeline::FormBatch(std::size_t take, std::uint64_t now_us,
     job.nonce = id.ts;
     job.trace_seq = trace_seq;
     job.close_us = now_us;
-    upload_queue_.Put(std::move(job));
+    EnqueueUpload(std::move(job));
   }
   staged_.erase(staged_.begin(),
                 staged_.begin() + static_cast<std::ptrdiff_t>(take));
@@ -754,7 +805,7 @@ void CommitPipeline::OpenStream(std::uint64_t now_us) {
   open_stream_->batch_seq = next_batch_seq_++;
   open_stream_->opened_us = now_us;
   open_stream_->session = stream_transfers_->BeginStream(
-      "WALSTREAM/" + std::to_string(open_stream_->ts));
+      StreamRoute(), "WALSTREAM/" + std::to_string(open_stream_->ts));
   // Part 0 is the GNJ3 prologue: every prefix of the stream is a valid
   // (possibly torn) container from the first bytes on.
   open_stream_->session->AppendPart(0, Envelope::StreamPrologue());
@@ -847,7 +898,7 @@ void CommitPipeline::SealSegment(std::size_t take, std::uint64_t now_us) {
   batched_count_.fetch_add(take, std::memory_order_release);
   open_stream_->writes += take;
   ++open_stream_->next_seg;
-  upload_queue_.Put(std::move(job));
+  EnqueueUpload(std::move(job));
   staged_.erase(staged_.begin(),
                 staged_.begin() + static_cast<std::ptrdiff_t>(take));
 }
@@ -883,7 +934,7 @@ void CommitPipeline::CloseStream(std::uint64_t now_us, bool closed_full) {
   }
   (closed_full ? stats_.batches_closed_full : stats_.batches_closed_deadline)
       .Add();
-  upload_queue_.Put(std::move(job));
+  EnqueueUpload(std::move(job));
   open_stream_.reset();
   last_agg_time_us_ = now_us;
 }
@@ -909,80 +960,104 @@ void CommitPipeline::UploaderLoop(int index) {
   Bytes framing;
   Bytes enveloped;
   while (auto job = upload_queue_.Take()) {
-    if (job->kind == UploadJob::Kind::kStreamSegment) {
-      UploadStreamSegment(std::move(*job), framing, enveloped);
-      continue;
-    }
-    if (job->kind == UploadJob::Kind::kStreamFinish) {
-      FinishStream(std::move(*job));
-      continue;
-    }
-    const bool traced = job->trace_seq != kNoTrace && Tracing();
-    std::uint64_t t_encode = 0;
-    if (traced) {
-      t_encode = clock_->NowMicros();
-      tracer_->Record(TraceStage::kEncodeQueue, job->trace_seq, job->close_us,
-                      t_encode >= job->close_us ? t_encode - job->close_us : 0);
-    }
-    const PayloadView payload = EncodeEntriesView(job->entries, framing);
-    stats_.object_logical_bytes.Record(static_cast<double>(payload.size()));
-    envelope_->EncodeInto(payload, job->nonce, enveloped);
-    if (traced) {
-      const std::uint64_t t_done = clock_->NowMicros();
-      tracer_->Record(TraceStage::kEncode, job->trace_seq, t_encode,
-                      t_done - t_encode);
-    }
-    bool uploaded = false;
-    std::uint64_t first_attempt_us = 0;
-    std::uint64_t put_end_us = 0;
-    Status last_status = Status::Ok();
-    buffered_inflight_puts_.fetch_add(1, std::memory_order_relaxed);
-    for (int attempt = 1; attempt <= retry.max_attempts(); ++attempt) {
-      const std::uint64_t started = clock_->NowMicros();
-      if (attempt == 1) first_attempt_us = started;
-      Status st = store_->Put(job->name, View(enveloped));
-      if (st.ok()) {
-        if (adaptive_ || traced) put_end_us = clock_->NowMicros();
-        if (adaptive_) adaptive_->RecordPutRtt(put_end_us - started);
-        uploaded = true;
-        break;
-      }
-      last_status = st;
-      if (killed_.load(std::memory_order_acquire) ||
-          attempt >= retry.max_attempts() ||
-          !RetryPolicy::Retryable(st.code())) {
-        break;
-      }
-      if (!SleepInterruptible(retry.NextBackoffUs(attempt))) break;
-    }
-    buffered_inflight_puts_.fetch_sub(1, std::memory_order_relaxed);
-    if (uploaded) {
-      stats_.objects_uploaded.Add();
-      stats_.bytes_uploaded.Add(enveloped.size());
-      if (auto id = WalObjectId::Decode(job->name)) view_->AddWal(*id);
-      // kPut covers first attempt → success, retries and backoff included:
-      // it decomposes outage pain, not just the happy-path round-trip.
-      if (traced) {
-        tracer_->Record(TraceStage::kPut, job->trace_seq, first_attempt_us,
-                        put_end_us - first_attempt_us);
-      }
-    } else if (!killed_.load(std::memory_order_acquire)) {
-      // A permanently failed upload outside a kill breaks the recoverable
-      // frontier for good — worth a structured record, not a silent drop.
-      Log(LogLevel::kError, "commit", "upload permanently failed",
-          {{"object", job->name}, {"status", last_status.ToString()}});
-    }
-    // Acknowledge even on permanent failure so Stop() can complete — but a
-    // failed ack freezes the recoverable frontier (UnlockerLoop), so no
-    // checkpoint can ever claim WAL coverage across the gap.
-    Ack ack;
-    ack.batch_seq = job->batch_seq;
-    ack.uploaded = uploaded;
-    // kAck only makes sense off a successful PUT's end time.
-    ack.trace_seq = (traced && uploaded) ? job->trace_seq : kNoTrace;
-    ack.put_end_us = put_end_us;
-    ack_queue_.ForcePut(std::move(ack));
+    ExecuteUploadJob(std::move(*job), retry, framing, enveloped);
   }
+}
+
+void CommitPipeline::EnqueueUpload(UploadJob job) {
+  if (sched_tenant_ == nullptr) {
+    upload_queue_.Put(std::move(job));
+    return;
+  }
+  // Fleet: the DRR cost is the job's logical payload bytes — what the PUT
+  // path actually pays for. Stream-finish jobs carry no payload and weigh
+  // the minimum. Boxed because std::function requires a copyable target
+  // and the job owns the write buffers (moved, never copied).
+  std::size_t cost = 0;
+  for (const Bytes& d : job.data) cost += d.size();
+  auto boxed = std::make_shared<UploadJob>(std::move(job));
+  config_.runtime->scheduler().Enqueue(
+      sched_tenant_, cost, [this, boxed](UploadScratch& scratch) {
+        ExecuteUploadJob(std::move(*boxed), *fleet_retry_, scratch.framing,
+                         scratch.enveloped);
+      });
+}
+
+void CommitPipeline::ExecuteUploadJob(UploadJob job, RetryPolicy& retry,
+                                      Bytes& framing, Bytes& enveloped) {
+  if (job.kind == UploadJob::Kind::kStreamSegment) {
+    UploadStreamSegment(std::move(job), framing, enveloped);
+    return;
+  }
+  if (job.kind == UploadJob::Kind::kStreamFinish) {
+    FinishStream(std::move(job));
+    return;
+  }
+  const bool traced = job.trace_seq != kNoTrace && Tracing();
+  std::uint64_t t_encode = 0;
+  if (traced) {
+    t_encode = clock_->NowMicros();
+    tracer_->Record(TraceStage::kEncodeQueue, job.trace_seq, job.close_us,
+                    t_encode >= job.close_us ? t_encode - job.close_us : 0);
+  }
+  const PayloadView payload = EncodeEntriesView(job.entries, framing);
+  stats_.object_logical_bytes.Record(static_cast<double>(payload.size()));
+  envelope_->EncodeInto(payload, job.nonce, enveloped);
+  if (traced) {
+    const std::uint64_t t_done = clock_->NowMicros();
+    tracer_->Record(TraceStage::kEncode, job.trace_seq, t_encode,
+                    t_done - t_encode);
+  }
+  bool uploaded = false;
+  std::uint64_t first_attempt_us = 0;
+  std::uint64_t put_end_us = 0;
+  Status last_status = Status::Ok();
+  buffered_inflight_puts_.fetch_add(1, std::memory_order_relaxed);
+  for (int attempt = 1; attempt <= retry.max_attempts(); ++attempt) {
+    const std::uint64_t started = clock_->NowMicros();
+    if (attempt == 1) first_attempt_us = started;
+    Status st = store_->Put(job.name, View(enveloped));
+    if (st.ok()) {
+      if (adaptive_ || traced) put_end_us = clock_->NowMicros();
+      if (adaptive_) adaptive_->RecordPutRtt(put_end_us - started);
+      uploaded = true;
+      break;
+    }
+    last_status = st;
+    if (killed_.load(std::memory_order_acquire) ||
+        attempt >= retry.max_attempts() ||
+        !RetryPolicy::Retryable(st.code())) {
+      break;
+    }
+    if (!SleepInterruptible(retry.NextBackoffUs(attempt))) break;
+  }
+  buffered_inflight_puts_.fetch_sub(1, std::memory_order_relaxed);
+  if (uploaded) {
+    stats_.objects_uploaded.Add();
+    stats_.bytes_uploaded.Add(enveloped.size());
+    if (auto id = WalObjectId::Decode(job.name)) view_->AddWal(*id);
+    // kPut covers first attempt → success, retries and backoff included:
+    // it decomposes outage pain, not just the happy-path round-trip.
+    if (traced) {
+      tracer_->Record(TraceStage::kPut, job.trace_seq, first_attempt_us,
+                      put_end_us - first_attempt_us);
+    }
+  } else if (!killed_.load(std::memory_order_acquire)) {
+    // A permanently failed upload outside a kill breaks the recoverable
+    // frontier for good — worth a structured record, not a silent drop.
+    Log(LogLevel::kError, "commit", "upload permanently failed",
+        {{"object", job.name}, {"status", last_status.ToString()}});
+  }
+  // Acknowledge even on permanent failure so Stop() can complete — but a
+  // failed ack freezes the recoverable frontier (UnlockerLoop), so no
+  // checkpoint can ever claim WAL coverage across the gap.
+  Ack ack;
+  ack.batch_seq = job.batch_seq;
+  ack.uploaded = uploaded;
+  // kAck only makes sense off a successful PUT's end time.
+  ack.trace_seq = (traced && uploaded) ? job.trace_seq : kNoTrace;
+  ack.put_end_us = put_end_us;
+  ack_queue_.ForcePut(std::move(ack));
 }
 
 void CommitPipeline::UploadStreamSegment(UploadJob job, Bytes& framing,
@@ -1027,7 +1102,7 @@ void CommitPipeline::UploadStreamSegment(UploadJob job, Bytes& framing,
       tid.replica = static_cast<std::uint32_t>(r);
       tid.max_lsn = job.seg_max_lsn;
       stream_transfers_->PutAsyncCb(
-          tid.Encode(), Bytes(enveloped),
+          StreamRoute(), tid.Encode(), Bytes(enveloped),
           [this, tid, remaining, failed, seq = job.batch_seq, traced,
            trace_seq = job.trace_seq, close_us = job.close_us](Status st) {
             if (st.ok()) {
@@ -1103,7 +1178,7 @@ void CommitPipeline::FinishStream(UploadJob job) {
       // The folded object supersedes this ts's tails; delete them in the
       // background. A missed delete is re-swept by checkpoint GC.
       for (const TailObjectId& tail : view_->TailsForTs(ts)) {
-        stream_transfers_->DeleteAsyncCb(tail.Encode(),
+        stream_transfers_->DeleteAsyncCb(StreamRoute(), tail.Encode(),
                                          [this, tail](Status dst) {
                                            if (!dst.ok()) return;
                                            view_->RemoveTail(tail);

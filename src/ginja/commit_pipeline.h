@@ -43,6 +43,7 @@
 #include "ginja/cloud_view.h"
 #include "ginja/coalesce.h"
 #include "ginja/config.h"
+#include "ginja/fleet_runtime.h"
 #include "ginja/payload.h"
 #include "obs/obs.h"
 
@@ -262,6 +263,20 @@ class CommitPipeline {
   void UploaderLoop(int index);
   void UnlockerLoop();
 
+  // Hands a formed job to the upload path: the private upload_queue_ when
+  // standalone, the fleet runtime's DRR scheduler (under this tenant's
+  // queue, weighted by the job's logical bytes) when config_.runtime is
+  // set.
+  void EnqueueUpload(UploadJob job);
+  // One upload job end to end (encode → PUT/stream op → ack); the body the
+  // standalone UploaderLoop runs per job and the fleet scheduler runs on a
+  // shared worker. `retry` must be thread-safe when shared across workers.
+  void ExecuteUploadJob(UploadJob job, RetryPolicy& retry, Bytes& framing,
+                        Bytes& enveloped);
+  // Route for operations on the (possibly shared) stream transfer manager:
+  // always this pipeline's store, billed to account_ in fleet mode.
+  TransferRoute StreamRoute() const { return {store_, account_}; }
+
   // Alg. 2's blocking predicate over the sequencer counters (lock-free).
   bool ShouldBlock(std::uint64_t now_us) const;
   std::uint64_t Unconfirmed() const;
@@ -288,6 +303,14 @@ class CommitPipeline {
   // Registers stats + DR-exposure gauges into config_.obs (no-op when the
   // config carries no observability bundle).
   void RegisterMetrics();
+  // Per-tenant label set for every registered series: {tenant=<id>} for a
+  // fleet member, empty standalone — so a shared fleet registry keeps each
+  // tenant's RPO/latency series distinct.
+  MetricLabels Labels() const {
+    return config_.tenant_id.empty()
+               ? MetricLabels{}
+               : MetricLabels{{"tenant", config_.tenant_id}};
+  }
   bool Tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
 
   static constexpr std::uint64_t kNoOldest = ~std::uint64_t{0};
@@ -409,12 +432,27 @@ class CommitPipeline {
   // AdaptiveBatchController::NoteUploadState.
   std::atomic<int> buffered_inflight_puts_{0};
 
+  // -- fleet mode (config_.runtime set) --------------------------------------
+  // This tenant's queue in the shared DRR upload scheduler; null when
+  // standalone (private uploader threads) or after deregistration.
+  UploadScheduler::Tenant* sched_tenant_ = nullptr;
+  // Billing/cancellation scope for this pipeline's operations on the
+  // shared TransferManager: Kill() cancels the account (not the manager,
+  // which serves other tenants), the destructor WaitIdle()s it so no
+  // callback referencing this pipeline survives destruction.
+  TransferAccountPtr account_;
+  // Shared retry schedule for fleet upload jobs (thread-safe); standalone
+  // uploaders keep their per-thread decorrelated policies.
+  std::unique_ptr<RetryPolicy> fleet_retry_;
+
   // Drives streamed part appends, tail PUTs, and superseded-tail deletes
-  // (streaming_commit only, else null). Its worker callbacks touch pipeline
-  // members, so it is declared LAST: destroyed first, and its destructor
-  // joins the workers before anything it references goes away. Stop() lets
-  // it drain; Kill() cancels it.
-  std::unique_ptr<TransferManager> stream_transfers_;
+  // (streaming_commit only, else null). Standalone it is privately owned
+  // and declared LAST: destroyed first, its destructor joining the workers
+  // before anything its callbacks reference goes away; Stop() lets it
+  // drain, Kill() cancels it. In fleet mode it aliases the runtime's
+  // shared manager — the destructor instead quiesces via
+  // account_->WaitIdle(), and Kill() cancels only the account.
+  std::shared_ptr<TransferManager> stream_transfers_;
 };
 
 }  // namespace ginja

@@ -12,6 +12,8 @@
 
 namespace ginja {
 
+class FleetRuntime;
+
 struct GinjaConfig {
   // -- Batch / Safety model (§5.1) -------------------------------------------
   // B: maximum database updates (intercepted WAL writes) per cloud
@@ -107,6 +109,20 @@ struct GinjaConfig {
   // Tracer options used only when `obs` is null and Ginja builds its own.
   TraceOptions trace;
 
+  // -- fleet ------------------------------------------------------------------------
+  // Shared fleet resources (uploader pool with DRR scheduling, one
+  // TransferManager, one CodecPool, one obs bundle). When set, this
+  // instance spawns no uploader or transfer threads of its own: upload
+  // jobs go to the runtime's deficit-round-robin scheduler under
+  // `tenant_id`, and checkpoint/stream/GC transfers run on the shared
+  // manager billed to a per-tenant TransferAccount. B/S/TB semantics stay
+  // per-instance. Normally injected by GinjaFleet::AddTenant, which also
+  // wraps the store in a TenantNamespace.
+  std::shared_ptr<FleetRuntime> runtime;
+  // Label for per-tenant metric series (tenant=<id>) and the scheduler
+  // queue; empty means a standalone (non-fleet) instance.
+  std::string tenant_id;
+
   // -- point-in-time recovery (§5.4) ----------------------------------------------
   // When true, garbage collection keeps superseded objects so the database
   // can be restored to any earlier checkpoint/WAL timestamp.
@@ -119,6 +135,29 @@ struct GinjaConfig {
     return c;
   }
 };
+
+// Sanity-checks the knobs whose zero values would make the pipelines hang
+// rather than fail: no uploader ever drains the queue, no shard ever
+// accepts a write, or the streaming aggregator never seals a segment.
+// Called by Ginja::Boot/Reboot before any thread starts, so a bad config
+// is a clear error instead of a stuck database.
+inline Status ValidateGinjaConfig(const GinjaConfig& config) {
+  if (config.uploader_threads <= 0) {
+    return Status::InvalidArgument(
+        "uploader_threads must be >= 1 (0 uploads nothing and blocks every "
+        "write at the S bound)");
+  }
+  if (config.submit_shards <= 0) {
+    return Status::InvalidArgument(
+        "submit_shards must be >= 1 (there would be no queue to submit to)");
+  }
+  if (config.stream_segment_writes == 0) {
+    return Status::InvalidArgument(
+        "stream_segment_writes must be >= 1 (a segment that never fills "
+        "never uploads, hanging the streaming path)");
+  }
+  return Status::Ok();
+}
 
 // Maps the config's retry knobs onto a TransferManager's options with the
 // given in-flight cap, so recovery, checkpoints, and GC share one policy.

@@ -1,0 +1,104 @@
+#include "ginja/fleet.h"
+
+#include <utility>
+
+#include "cloud/tenant_namespace.h"
+
+namespace ginja {
+
+GinjaFleet::GinjaFleet(std::shared_ptr<FleetRuntime> runtime)
+    : runtime_(std::move(runtime)) {}
+
+GinjaFleet::~GinjaFleet() {
+  // Tenants destroy in reverse insertion order; each Ginja's destructor
+  // kills-if-running and quiesces its scheduler queue and transfer account
+  // against the (still alive) runtime_.
+  tenants_.clear();
+}
+
+Result<Ginja*> GinjaFleet::AddTenant(TenantSpec spec) {
+  if (spec.id.empty()) {
+    return Status::InvalidArgument("tenant id must be non-empty");
+  }
+  if (spec.id.find('/') != std::string::npos) {
+    // '/' would nest inside another tenant's namespace ("a" vs "a/b").
+    return Status::InvalidArgument("tenant id must not contain '/'");
+  }
+  for (const auto& t : tenants_) {
+    if (t->id == spec.id) {
+      return Status::AlreadyExists("tenant '" + spec.id + "' already added");
+    }
+  }
+
+  auto tenant = std::make_unique<Tenant>();
+  tenant->id = spec.id;
+  tenant->store = std::make_shared<TenantNamespace>(
+      runtime_->base_store(), TenantNamespace::Prefix(spec.id));
+  if (spec.store_decorator) {
+    tenant->store = spec.store_decorator(tenant->store);
+    if (!tenant->store) {
+      return Status::InvalidArgument("store decorator returned null");
+    }
+  }
+
+  GinjaConfig config = std::move(spec.config);
+  config.runtime = runtime_;
+  config.tenant_id = spec.id;
+  if (!config.obs) config.obs = runtime_->obs();
+  tenant->ginja =
+      std::make_unique<Ginja>(std::move(spec.local_vfs), tenant->store,
+                              runtime_->clock(), spec.layout, std::move(config));
+
+  Ginja* handle = tenant->ginja.get();
+  tenants_.push_back(std::move(tenant));
+  return handle;
+}
+
+Ginja* GinjaFleet::Find(const std::string& id) {
+  for (const auto& t : tenants_) {
+    if (t->id == id) return t->ginja.get();
+  }
+  return nullptr;
+}
+
+ObjectStorePtr GinjaFleet::TenantStore(const std::string& id) {
+  for (const auto& t : tenants_) {
+    if (t->id == id) return t->store;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> GinjaFleet::TenantIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(tenants_.size());
+  for (const auto& t : tenants_) ids.push_back(t->id);
+  return ids;
+}
+
+bool GinjaFleet::RemoveTenant(const std::string& id, bool kill) {
+  for (auto it = tenants_.begin(); it != tenants_.end(); ++it) {
+    if ((*it)->id != id) continue;
+    if (kill) {
+      (*it)->ginja->Kill();
+    } else {
+      (*it)->ginja->Stop();
+    }
+    tenants_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+void GinjaFleet::StopAll() {
+  for (const auto& t : tenants_) t->ginja->Stop();
+}
+
+void GinjaFleet::KillAll() {
+  for (const auto& t : tenants_) t->ginja->Kill();
+}
+
+void GinjaFleet::DrainAll() {
+  for (const auto& t : tenants_) t->ginja->Drain();
+}
+
+}  // namespace ginja

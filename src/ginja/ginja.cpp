@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/codec/codec_pool.h"
+#include "ginja/fleet_runtime.h"
 #include "ginja/payload.h"
 #include "obs/log.h"
 
@@ -23,11 +24,17 @@ Ginja::Ginja(VfsPtr local_vfs, ObjectStorePtr store,
       envelope_(std::make_shared<Envelope>(config.envelope)) {
   // Every Ginja carries an observability bundle: metrics gauges and stage
   // histograms are always reachable via observability(), with the tracer
-  // enabled only when the caller's TraceOptions say so.
+  // enabled only when the caller's TraceOptions say so. A fleet member
+  // defaults to the runtime's shared bundle (one registry for the fleet,
+  // per-tenant series split by the tenant label).
   if (!config_.obs) {
-    config_.obs = std::make_shared<Observability>(config_.trace);
+    config_.obs = config_.runtime ? config_.runtime->obs()
+                                  : std::make_shared<Observability>(config_.trace);
   }
-  if (config_.codec_threads > 1) {
+  if (config_.runtime && config_.runtime->codec_pool()) {
+    codec_pool_ = config_.runtime->codec_pool();  // one pool for the fleet
+    envelope_->SetCodecPool(codec_pool_);
+  } else if (config_.codec_threads > 1) {
     codec_pool_ = std::make_shared<CodecPool>(config_.codec_threads);
     envelope_->SetCodecPool(codec_pool_);
   }
@@ -43,8 +50,10 @@ Ginja::Ginja(VfsPtr local_vfs, ObjectStorePtr store,
   commits_->SetFrontierListener([this] { checkpoints_->NotifyFrontier(); });
   processor_ = std::make_unique<DbIoProcessor>(layout_, commits_.get(),
                                                checkpoints_.get());
+  MetricLabels labels;
+  if (!config_.tenant_id.empty()) labels = {{"tenant", config_.tenant_id}};
   config_.obs->registry.RegisterGauge(
-      this, "ginja_unclassified_events", {},
+      this, "ginja_unclassified_events", std::move(labels),
       [this] { return static_cast<double>(processor_->unclassified_events()); });
 }
 
@@ -54,6 +63,9 @@ Ginja::~Ginja() {
 }
 
 Status Ginja::Boot() {
+  // A config whose zero knobs would hang the pipelines is rejected here,
+  // before any pipeline thread starts.
+  GINJA_RETURN_IF_ERROR(ValidateGinjaConfig(config_));
   // One WAL object per local WAL segment, in segment order (Alg. 1 l. 9–13).
   auto files = local_vfs_->ListFiles("");
   if (!files.ok()) return files.status();
@@ -119,6 +131,7 @@ Status Ginja::Boot() {
 }
 
 Status Ginja::Reboot() {
+  GINJA_RETURN_IF_ERROR(ValidateGinjaConfig(config_));
   auto objects = store_->List("");
   if (!objects.ok()) return objects.status();
   view_->Clear();
@@ -324,11 +337,24 @@ Status Ginja::Recover(ObjectStorePtr store, const GinjaConfig& config,
   // in plan order. Counters advance only as objects are *consumed*, so the
   // report is identical for every K — prefetched-but-unapplied blobs past
   // a corrupt object are discarded uncounted, exactly as if never fetched.
-  TransferManager transfers(
-      store, MakeTransferOptions(config, config.recovery_prefetch), clock);
-  if (config.obs) {
-    transfers.RegisterMetrics(&config.obs->registry, "recovery");
+  std::shared_ptr<TransferManager> owned_transfers;
+  TransferRoute route;
+  if (config.runtime) {
+    // Fleet recovery reuses the shared worker pool: GETs route to this
+    // tenant's (namespaced) store and bill a per-recovery account, so N
+    // concurrent recoveries share one global in-flight window.
+    route.store = store;
+    route.account = std::make_shared<TransferAccount>(
+        config.tenant_id.empty() ? "recovery" : config.tenant_id);
+  } else {
+    owned_transfers = std::make_shared<TransferManager>(
+        store, MakeTransferOptions(config, config.recovery_prefetch), clock);
+    if (config.obs) {
+      owned_transfers->RegisterMetrics(&config.obs->registry, "recovery");
+    }
   }
+  TransferManager& transfers =
+      config.runtime ? *config.runtime->transfers() : *owned_transfers;
   // Fetch/apply spans need timestamps; without a clock recovery runs
   // untraced (the registry gauges above still work).
   WriteTracer* tracer = config.obs ? &config.obs->tracer : nullptr;
@@ -359,7 +385,7 @@ Status Ginja::Recover(ObjectStorePtr store, const GinjaConfig& config,
   for (std::size_t i = 0; i < plan.size(); ++i) {
     while (next_issue < plan.size() && inflight.size() < window) {
       if (tracing) issue_times.push_back(clock->NowMicros());
-      inflight.push_back(transfers.GetAsync(plan[next_issue++].name));
+      inflight.push_back(transfers.GetAsync(route, plan[next_issue++].name));
     }
     auto blob = std::move(inflight.front());
     inflight.pop_front();
@@ -378,7 +404,7 @@ Status Ginja::Recover(ObjectStorePtr store, const GinjaConfig& config,
     if (!st.ok() && !plan[i].fallbacks.empty()) {
       // Replica tails hold byte-identical segments; any one of them will do.
       for (const auto& alt : plan[i].fallbacks) {
-        st = apply_blob(transfers.Get(alt));
+        st = apply_blob(transfers.GetAsync(route, alt).get());
         if (st.ok()) break;
       }
     }

@@ -317,6 +317,41 @@ TEST(ReplicatedStore, StreamedPutReachesQuorumPastOneOutage) {
   EXPECT_EQ(*got, B("hello world"));
 }
 
+// A replica that fails in the middle of a streamed write — after staging
+// some parts — must not poison the stream: Finish still reaches quorum on
+// the healthy replicas, and the lagging replica is aborted, leaving no
+// half-published object a recovery could trip over.
+TEST(ReplicatedStore, ReplicaFailingMidStreamIsAbortedNeverHalfPublished) {
+  auto a = std::make_shared<MemoryStore>();
+  auto b = std::make_shared<MemoryStore>();
+  auto lagging_inner = std::make_shared<MemoryStore>();
+  auto lagging = std::make_shared<FaultyStore>(lagging_inner);
+  ReplicatedStore store({a, b, lagging}, /*quorum=*/2);
+
+  auto writer = store.BeginStreaming("stage/mid-fail");
+  ASSERT_TRUE(writer.ok());
+  // The lagging replica stages the first part fine, then dies mid-stream.
+  ASSERT_TRUE((*writer)->AppendPart(0, View(B("part0 "))).ok());
+  lagging->FailNextOps(1);
+  ASSERT_TRUE((*writer)->AppendPart(1, View(B("part1 "))).ok());
+  ASSERT_TRUE((*writer)->AppendPart(2, View(B("part2"))).ok());
+  ASSERT_TRUE((*writer)->Finish("streamed").ok());
+
+  // Quorum replicas published the complete object.
+  EXPECT_EQ(*a->Get("streamed"), B("part0 part1 part2"));
+  EXPECT_EQ(*b->Get("streamed"), B("part0 part1 part2"));
+  auto got = store.Get("streamed");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, B("part0 part1 part2"));
+
+  // The failed replica was aborted: no published object, no staged
+  // residue — nothing visible at all.
+  EXPECT_FALSE(lagging_inner->Get("streamed").ok());
+  auto leftovers = lagging_inner->List("");
+  ASSERT_TRUE(leftovers.ok());
+  EXPECT_TRUE(leftovers->empty());
+}
+
 TEST(ReplicatedStore, FullQuorumFailsOnOutage) {
   auto a = std::make_shared<MemoryStore>();
   auto faulty = std::make_shared<FaultyStore>(std::make_shared<MemoryStore>());
