@@ -10,6 +10,7 @@
 
 #include "bench_common.h"
 #include "cloud/s3/http_socket.h"
+#include "ginja/standby.h"
 #include "obs/exporter.h"
 #include "obs/http_endpoint.h"
 
@@ -66,6 +67,17 @@ int Run() {
 
   PrintHeader("Observability smoke: traced TPC-C, snapshot, endpoint scrape");
 
+  // A warm standby tails the bucket for the whole run, sharing the obs
+  // bundle: its lag gauges and the tail_fetch/tail_apply trace stages land
+  // in the same snapshot CI validates.
+  StandbyOptions tail;
+  tail.poll_interval_us = 10'000;
+  StandbyReplica standby(stack->store, config, stack->clock, tail);
+  if (!standby.Start().ok()) {
+    std::fprintf(stderr, "standby bootstrap failed\n");
+    return 1;
+  }
+
   // The periodic exporter runs for the whole workload.
   std::atomic<std::uint64_t> flushed_metrics{0};
   SnapshotFlusher flusher(&obs->registry, /*interval_ms=*/100,
@@ -75,6 +87,13 @@ int Run() {
   flusher.Start();
   const TpccBenchResult result = RunTpccBench(*stack, /*model_seconds=*/20.0);
   stack->ginja->Stop();  // drain: every traced write completes its lifecycle
+  // Give the tail a few more polls to absorb the drained frontier, then
+  // freeze it (the StandbyReplica stays alive: its gauges must still be
+  // registered when the snapshot below is taken).
+  for (int i = 0; i < 200 && standby.lag_objects() > 0; ++i) {
+    stack->clock->SleepMicros(10'000);
+  }
+  standby.Stop();
   flusher.Stop();
 
   std::printf("TPC-C: %llu txns, %.1f model-s, tpmC %.0f\n",
@@ -93,6 +112,10 @@ int Run() {
               static_cast<int>(GaugeOr(snap, "ginja_rpo_limit_writes")),
               GaugeOr(snap, "ginja_cost_accrued_dollars"),
               GaugeOr(snap, "ginja_cloud_outage") == 0 ? "no" : "YES");
+  std::printf("standby: lag %d objects, %llu applied, %llu resyncs\n",
+              static_cast<int>(GaugeOr(snap, "ginja_standby_lag_objects")),
+              static_cast<unsigned long long>(standby.objects_applied()),
+              static_cast<unsigned long long>(standby.resyncs()));
 
   // One real scrape through the socket endpoint.
   ObsHttpServer server(obs);

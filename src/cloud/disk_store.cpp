@@ -49,6 +49,13 @@ Result<Bytes> DiskStore::Get(std::string_view name) {
 }
 
 Result<std::vector<ObjectMeta>> DiskStore::List(std::string_view prefix) {
+  return List(prefix, {});
+}
+
+Result<std::vector<ObjectMeta>> DiskStore::List(std::string_view prefix,
+                                                std::string_view start_after) {
+  // The directory walk is unavoidable (no ordered index on disk), but the
+  // cursor still prunes the sort + ObjectMeta construction to new names.
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<ObjectMeta> out;
   std::error_code ec;
@@ -58,6 +65,7 @@ Result<std::vector<ObjectMeta>> DiskStore::List(std::string_view prefix) {
     std::string name = fs::relative(it->path(), root_).generic_string();
     if (name.size() >= 4 && name.ends_with(".tmp")) continue;
     if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (!start_after.empty() && name <= start_after) continue;
     out.push_back({std::move(name), it->file_size()});
   }
   if (ec) return Status::IoError(ec.message());

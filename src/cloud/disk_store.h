@@ -18,6 +18,8 @@ class DiskStore : public ObjectStore {
   Status Put(std::string_view name, ByteView data) override;
   Result<Bytes> Get(std::string_view name) override;
   Result<std::vector<ObjectMeta>> List(std::string_view prefix) override;
+  Result<std::vector<ObjectMeta>> List(std::string_view prefix,
+                                       std::string_view start_after) override;
   Status Delete(std::string_view name) override;
 
   // Streamed PUT: parts append to "<staging_hint>.tmp" (List skips *.tmp,

@@ -61,6 +61,12 @@ Result<std::vector<ObjectMeta>> FaultyStore::List(std::string_view prefix) {
   return inner_->List(prefix);
 }
 
+Result<std::vector<ObjectMeta>> FaultyStore::List(std::string_view prefix,
+                                                  std::string_view start_after) {
+  if (ShouldFail()) return Status::Unavailable("injected LIST failure");
+  return inner_->List(prefix, start_after);
+}
+
 Status FaultyStore::Delete(std::string_view name) {
   if (ShouldFail()) return Status::Unavailable("injected DELETE failure");
   return inner_->Delete(name);

@@ -95,6 +95,30 @@ Result<std::vector<ObjectMeta>> MemoryStore::List(std::string_view prefix) {
   return out;
 }
 
+Result<std::vector<ObjectMeta>> MemoryStore::List(std::string_view prefix,
+                                                  std::string_view start_after) {
+  // Same off-lock name building as the full List, but the scan starts at
+  // upper_bound(start_after) — past every key the caller already consumed —
+  // when the cursor is ahead of the prefix start.
+  std::vector<std::shared_ptr<const StoredObject>> matched;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = start_after.compare(prefix) >= 0 ? objects_.upper_bound(start_after)
+                                               : objects_.lower_bound(prefix);
+    for (; it != objects_.end(); ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      if (!start_after.empty() && it->first <= start_after) continue;
+      matched.push_back(it->second);
+    }
+  }
+  std::vector<ObjectMeta> out;
+  out.reserve(matched.size());
+  for (const auto& object : matched) {
+    out.push_back({object->name, object->data.size()});
+  }
+  return out;
+}
+
 Status MemoryStore::Delete(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   objects_.erase(std::string(name));

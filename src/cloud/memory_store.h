@@ -14,6 +14,11 @@ class MemoryStore : public ObjectStore {
   Status Put(std::string_view name, ByteView data) override;
   Result<Bytes> Get(std::string_view name) override;
   Result<std::vector<ObjectMeta>> List(std::string_view prefix) override;
+  // Native cursor: seeks the ordered map past `start_after` instead of
+  // scanning the whole prefix range — the standby's poll loop lists in
+  // O(new objects), which BM_MemoryStoreListCursor quantifies.
+  Result<std::vector<ObjectMeta>> List(std::string_view prefix,
+                                       std::string_view start_after) override;
   Status Delete(std::string_view name) override;
 
   // Streamed upload staged outside the map: parts accumulate in the

@@ -64,7 +64,14 @@ Result<Bytes> MeteredStore::Get(std::string_view name) {
 }
 
 Result<std::vector<ObjectMeta>> MeteredStore::List(std::string_view prefix) {
-  Result<std::vector<ObjectMeta>> r = inner_->List(prefix);
+  return List(prefix, {});
+}
+
+Result<std::vector<ObjectMeta>> MeteredStore::List(std::string_view prefix,
+                                                   std::string_view start_after) {
+  // A cursor pass is still one LIST request on the bill, but its latency
+  // scales with the (usually tiny) result count, which is the point.
+  Result<std::vector<ObjectMeta>> r = inner_->List(prefix, start_after);
   if (latency_) {
     latency_->Sleep(latency_->ListLatencyMicros(r.ok() ? r->size() : 0));
   }

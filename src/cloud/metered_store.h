@@ -41,6 +41,8 @@ class MeteredStore : public ObjectStore {
   Status Put(std::string_view name, ByteView data) override;
   Result<Bytes> Get(std::string_view name) override;
   Result<std::vector<ObjectMeta>> List(std::string_view prefix) override;
+  Result<std::vector<ObjectMeta>> List(std::string_view prefix,
+                                       std::string_view start_after) override;
   Status Delete(std::string_view name) override;
 
   // Streamed PUT: each part sleeps only the per-byte transfer term,

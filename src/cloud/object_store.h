@@ -70,6 +70,18 @@ class ObjectStore {
   // Lists objects whose names start with `prefix`, in lexicographic order.
   virtual Result<std::vector<ObjectMeta>> List(std::string_view prefix) = 0;
 
+  // Cursor form: only names strictly after `start_after` (lexicographic)
+  // are returned — S3's ListObjectsV2 `start-after` knob. Incremental
+  // consumers (the warm standby's tail poll) pass the key they have
+  // already consumed up to, so a steady-state pass costs O(new objects)
+  // instead of re-listing the whole bucket. The base implementation
+  // filters a full List; backends with an ordered index override it to
+  // seek. NOTE: WAL timestamps are encoded without zero padding, so a
+  // cursor must be derived from the *next expected* key, not the last key
+  // seen — "WAL/10..." sorts before "WAL/9..." (see StandbyReplica).
+  virtual Result<std::vector<ObjectMeta>> List(std::string_view prefix,
+                                               std::string_view start_after);
+
   // Deleting a missing object succeeds (S3 semantics).
   virtual Status Delete(std::string_view name) = 0;
 

@@ -38,11 +38,16 @@ Result<Bytes> ReplicatedStore::Get(std::string_view name) {
 }
 
 Result<std::vector<ObjectMeta>> ReplicatedStore::List(std::string_view prefix) {
+  return List(prefix, {});
+}
+
+Result<std::vector<ObjectMeta>> ReplicatedStore::List(
+    std::string_view prefix, std::string_view start_after) {
   std::map<std::string, std::uint64_t> merged;
   bool any_ok = false;
   Status last_error = Status::Unavailable("no replica reachable");
   for (auto& replica : replicas_) {
-    Result<std::vector<ObjectMeta>> r = replica->List(prefix);
+    Result<std::vector<ObjectMeta>> r = replica->List(prefix, start_after);
     if (!r.ok()) {
       last_error = r.status();
       continue;

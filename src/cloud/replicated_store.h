@@ -23,6 +23,8 @@ class ReplicatedStore : public ObjectStore {
   Status Put(std::string_view name, ByteView data) override;
   Result<Bytes> Get(std::string_view name) override;
   Result<std::vector<ObjectMeta>> List(std::string_view prefix) override;
+  Result<std::vector<ObjectMeta>> List(std::string_view prefix,
+                                       std::string_view start_after) override;
   Status Delete(std::string_view name) override;
 
   // Streamed PUT fans parts out to every replica's writer; a replica whose

@@ -203,6 +203,11 @@ Result<ObjectWriterPtr> S3Client::BeginStreaming(std::string_view staging_hint) 
 }
 
 Result<std::vector<ObjectMeta>> S3Client::List(std::string_view prefix) {
+  return List(prefix, {});
+}
+
+Result<std::vector<ObjectMeta>> S3Client::List(std::string_view prefix,
+                                               std::string_view start_after) {
   std::vector<ObjectMeta> out;
   std::string continuation;
   while (true) {
@@ -211,6 +216,9 @@ Result<std::vector<ObjectMeta>> S3Client::List(std::string_view prefix) {
     request.path = "/" + bucket_;
     request.query["list-type"] = "2";
     if (!prefix.empty()) request.query["prefix"] = std::string(prefix);
+    // ListObjectsV2 start-after: the server skips keys <= the cursor. Keys
+    // are filtered again below in case a server ignores the parameter.
+    if (!start_after.empty()) request.query["start-after"] = std::string(start_after);
     if (!continuation.empty()) request.query["continuation-token"] = continuation;
     auto response = Send(std::move(request));
     if (!response.ok()) return response.status();
@@ -225,6 +233,7 @@ Result<std::vector<ObjectMeta>> S3Client::List(std::string_view prefix) {
       auto size = XmlExtract(fragment, "Size");
       if (!key) return Status::Corruption("ListBucketResult without Key");
       meta.name = *key;
+      if (!start_after.empty() && meta.name <= start_after) continue;
       if (size) {
         std::from_chars(size->data(), size->data() + size->size(), meta.size);
       }

@@ -24,6 +24,8 @@ class S3Client : public ObjectStore {
   Status Put(std::string_view name, ByteView data) override;
   Result<Bytes> Get(std::string_view name) override;
   Result<std::vector<ObjectMeta>> List(std::string_view prefix) override;
+  Result<std::vector<ObjectMeta>> List(std::string_view prefix,
+                                       std::string_view start_after) override;
   Status Delete(std::string_view name) override;
 
   // Real S3 multipart upload: initiate (POST ?uploads) under the staging

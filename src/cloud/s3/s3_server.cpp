@@ -244,12 +244,17 @@ HttpResponse S3Server::HandleList(const HttpRequest& request) {
     prefix = it->second;
   }
   std::string start_after;
+  if (auto it = request.query.find("start-after"); it != request.query.end()) {
+    start_after = it->second;  // ListObjectsV2 cursor
+  }
   if (auto it = request.query.find("continuation-token");
       it != request.query.end()) {
-    start_after = it->second;  // our tokens are simply the last key served
+    // Our tokens are simply the last key served; a continuation resumes
+    // from whichever cursor is further along.
+    if (it->second > start_after) start_after = it->second;
   }
 
-  auto all = backend_->List(prefix);
+  auto all = backend_->List(prefix, start_after);
   if (!all.ok()) return ErrorResponse(500, "InternalError", all.status().ToString());
 
   std::ostringstream xml;

@@ -67,6 +67,22 @@ Result<std::vector<ObjectMeta>> TenantNamespace::List(std::string_view prefix) {
   return out;
 }
 
+Result<std::vector<ObjectMeta>> TenantNamespace::List(
+    std::string_view prefix, std::string_view start_after) {
+  if (start_after.empty()) return List(prefix);
+  auto inner = inner_->List(Scoped(prefix), Scoped(start_after));
+  if (!inner.ok()) return inner.status();
+  std::vector<ObjectMeta> out;
+  out.reserve(inner->size());
+  for (auto& meta : *inner) {
+    // Defensive: a backend could return keys outside the asked prefix;
+    // never leak another tenant's (or an unscoped) name upward.
+    if (meta.name.compare(0, prefix_.size(), prefix_) != 0) continue;
+    out.push_back({meta.name.substr(prefix_.size()), meta.size});
+  }
+  return out;
+}
+
 Status TenantNamespace::Delete(std::string_view name) {
   return inner_->Delete(Scoped(name));
 }

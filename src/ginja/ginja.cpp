@@ -193,150 +193,17 @@ Status Ginja::Recover(ObjectStorePtr store, const GinjaConfig& config,
   auto objects = store->List("");
   if (!objects.ok()) return objects.status();
 
-  std::vector<WalObjectId> wal_objects;
-  // ts -> seg -> replicas of that segment's tail object (streaming early
-  // acks; see CommitPipeline). Only tails of a ts with *no* full WAL
-  // object matter — the finished object supersedes its tails.
-  std::map<std::uint64_t, std::map<std::uint32_t, std::vector<TailObjectId>>>
-      tails_by_ts;
-  std::map<std::uint64_t, std::vector<DbObjectId>> db_by_seq;
-  for (const auto& meta : *objects) {
-    if (auto wal = WalObjectId::Decode(meta.name)) {
-      if (!up_to_ts || wal->ts <= *up_to_ts) wal_objects.push_back(*wal);
-      continue;
-    }
-    if (auto tail = TailObjectId::Decode(meta.name)) {
-      if (!up_to_ts || tail->ts <= *up_to_ts) {
-        tails_by_ts[tail->ts][tail->seg].push_back(*tail);
-      }
-      continue;
-    }
-    if (auto db = DbObjectId::Decode(meta.name)) {
-      if (!up_to_ts || db->ts <= *up_to_ts) db_by_seq[db->seq].push_back(*db);
-    }
-  }
-  for (const auto& id : wal_objects) tails_by_ts.erase(id.ts);
-  std::sort(wal_objects.begin(), wal_objects.end(),
-            [](const WalObjectId& a, const WalObjectId& b) { return a.ts < b.ts; });
-
   // The whole download schedule is computable before the first GET: DB
   // object names carry their redo LSN and part counts, WAL names their ts
   // and covered range. That is what makes windowed prefetch safe — the
-  // plan below is exactly the serial loop's visit order, so a K-deep
-  // window changes *when* bytes arrive but never *what* is applied.
-  struct FetchPlanItem {
-    std::string name;
-    bool is_wal = false;
-    bool is_tail = false;       // WALTAIL/ segment of an unfinished object
-    std::uint64_t wal_ts = 0;
-    // Replica tails holding the same segment bytes, tried in order when
-    // the primary fails; empty for everything else.
-    std::vector<std::string> fallbacks;
-  };
-  std::vector<FetchPlanItem> plan;
+  // plan is exactly the serial loop's visit order, so a K-deep window
+  // changes *when* bytes arrive but never *what* is applied. The plan
+  // builder and the windowed apply loop live in tail_apply.* and are
+  // shared with the warm StandbyReplica (tailing) and the point-in-time
+  // path (`up_to_ts` opens the same plan at an arbitrary frontier).
+  TailPlan plan = BuildTailPlan(*objects, up_to_ts);
+  r.found_dump = plan.found_dump;
 
-  // 1. Most recent *complete* dump (all parts present) — Alg. 1 lines 27–29.
-  Lsn last_redo_lsn = 0;
-  std::optional<std::uint64_t> dump_seq;
-  for (const auto& [seq, parts] : db_by_seq) {
-    if (parts.empty() || parts[0].type != DbObjectType::kDump) continue;
-    if (parts.size() == parts[0].total_parts) dump_seq = seq;
-  }
-  auto plan_parts = [&](std::vector<DbObjectId> parts) {
-    std::sort(parts.begin(), parts.end(),
-              [](const DbObjectId& a, const DbObjectId& b) { return a.part < b.part; });
-    for (const auto& id : parts) {
-      plan.push_back({id.Encode(), /*is_wal=*/false, 0});
-      last_redo_lsn = std::max(last_redo_lsn, id.redo_lsn);
-    }
-  };
-  if (dump_seq) {
-    r.found_dump = true;
-    plan_parts(db_by_seq[*dump_seq]);
-  }
-
-  // 2. Incremental checkpoints newer than the dump, ascending — lines 30–36.
-  for (const auto& [seq, parts] : db_by_seq) {
-    if (dump_seq && seq <= *dump_seq) continue;
-    if (parts.empty() || parts[0].type != DbObjectType::kCheckpoint) continue;
-    if (parts.size() != parts[0].total_parts) continue;  // incomplete upload
-    plan_parts(parts);
-  }
-
-  // 3. WAL objects the redo still needs (covered range past the planned
-  // checkpoints' redo LSN — the LSN-safe form of the paper's
-  // newerThan(maxCkptTs)), in ts order, truncated at the first gap: the
-  // consecutive-timestamp rule that bounds loss to S (lines 37–40). The
-  // gap position depends only on the name-derived ts sequence, so the
-  // prefetcher never fetches past it.
-  bool gap_after_plan = false;
-  {
-    std::optional<std::uint64_t> previous_ts;
-    for (const auto& id : wal_objects) {
-      if (id.max_lsn <= last_redo_lsn) continue;  // already in the pages
-      if (previous_ts && id.ts != *previous_ts + 1) {
-        gap_after_plan = true;
-        break;
-      }
-      plan.push_back({id.Encode(), /*is_wal=*/true, /*is_tail=*/false, id.ts,
-                      {}});
-      previous_ts = id.ts;
-    }
-
-    // 3b. Tail objects of the next unfinished streamed WAL object (early
-    // acks): its acked segment prefix is recoverable even though the
-    // object itself never finished. The candidate ts must keep timestamps
-    // consecutive — previous_ts + 1, or the earliest un-covered tail ts
-    // when no full WAL object was planned. Within the ts, GC only ever
-    // deletes a seg-*prefix* of tails (the cumulative max_lsn is monotone
-    // in seg), so the dense run starting at the lowest surviving segment
-    // is applied, in order, and the plan always ends there: what followed
-    // the run was never acknowledged, losing it is within the S bound.
-    std::optional<std::uint64_t> tail_ts;
-    for (const auto& [ts, segs] : tails_by_ts) {
-      Lsn ts_max = 0;
-      for (const auto& [seg, replicas] : segs) {
-        for (const auto& t : replicas) ts_max = std::max(ts_max, t.max_lsn);
-      }
-      if (ts_max <= last_redo_lsn) continue;  // fully covered by the pages
-      if (previous_ts && ts != *previous_ts + 1) continue;
-      if (!previous_ts && gap_after_plan) continue;
-      tail_ts = ts;
-      break;
-    }
-    if (tail_ts) {
-      const auto& segs = tails_by_ts[*tail_ts];
-      std::uint32_t expected = segs.begin()->first;
-      for (const auto& [seg, replicas] : segs) {
-        if (seg != expected) break;  // a hole ends the acked prefix
-        ++expected;
-        std::vector<TailObjectId> sorted = replicas;
-        std::sort(sorted.begin(), sorted.end(),
-                  [](const TailObjectId& a, const TailObjectId& b) {
-                    return a.replica < b.replica;
-                  });
-        FetchPlanItem item;
-        item.name = sorted.front().Encode();
-        item.is_wal = true;
-        item.is_tail = true;
-        item.wal_ts = *tail_ts;
-        for (std::size_t k = 1; k < sorted.size(); ++k) {
-          item.fallbacks.push_back(sorted[k].Encode());
-        }
-        plan.push_back(std::move(item));
-      }
-      // A tails-only ts is by construction an incomplete object: the plan
-      // stops here and the truncation is reported.
-      gap_after_plan = true;
-    }
-  }
-
-  // Windowed fetch/apply: a TransferManager keeps up to K GETs in flight;
-  // decode/decompress runs on this thread (fanning chunks across the codec
-  // pool) overlapped with the in-flight downloads; applies stay strictly
-  // in plan order. Counters advance only as objects are *consumed*, so the
-  // report is identical for every K — prefetched-but-unapplied blobs past
-  // a corrupt object are discarded uncounted, exactly as if never fetched.
   std::shared_ptr<TransferManager> owned_transfers;
   TransferRoute route;
   if (config.runtime) {
@@ -353,87 +220,20 @@ Status Ginja::Recover(ObjectStorePtr store, const GinjaConfig& config,
       owned_transfers->RegisterMetrics(&config.obs->registry, "recovery");
     }
   }
-  TransferManager& transfers =
-      config.runtime ? *config.runtime->transfers() : *owned_transfers;
+  TailApplyContext ctx;
+  ctx.transfers =
+      config.runtime ? config.runtime->transfers().get() : owned_transfers.get();
+  ctx.route = route;
+  ctx.envelope = &envelope;
+  ctx.target = target;
   // Fetch/apply spans need timestamps; without a clock recovery runs
   // untraced (the registry gauges above still work).
-  WriteTracer* tracer = config.obs ? &config.obs->tracer : nullptr;
-  const bool tracing = tracer != nullptr && tracer->enabled() && clock != nullptr;
-  const std::size_t window =
-      static_cast<std::size_t>(std::max(1, config.recovery_prefetch));
-  std::deque<std::future<Result<Bytes>>> inflight;
-  std::deque<std::uint64_t> issue_times;  // parallel to inflight, tracing only
-  std::size_t next_issue = 0;
-
-  auto apply_blob = [&](Result<Bytes> blob) -> Status {
-    if (!blob.ok()) return blob.status();
-    ++r.objects_downloaded;
-    r.bytes_downloaded += blob->size();
-    auto payload = envelope.Decode(View(*blob));
-    if (!payload.ok()) return payload.status();
-    auto entries = DecodeEntries(View(*payload));
-    if (!entries.ok()) return entries.status();
-    for (const auto& e : *entries) {
-      GINJA_RETURN_IF_ERROR(target->Write(e.path, e.offset, View(e.data),
-                                          /*sync=*/false));
-      ++r.files_written;
-    }
-    return Status::Ok();
-  };
-
-  bool wal_tail_truncated = false;
-  for (std::size_t i = 0; i < plan.size(); ++i) {
-    while (next_issue < plan.size() && inflight.size() < window) {
-      if (tracing) issue_times.push_back(clock->NowMicros());
-      inflight.push_back(transfers.GetAsync(route, plan[next_issue++].name));
-    }
-    auto blob = std::move(inflight.front());
-    inflight.pop_front();
-    Result<Bytes> fetched = blob.get();
-    std::uint64_t t_fetched = 0;
-    if (tracing) {
-      const std::uint64_t issued = issue_times.front();
-      issue_times.pop_front();
-      t_fetched = clock->NowMicros();
-      // GET issued → blob in hand; overlap with other in-flight GETs means
-      // the sum across objects can exceed the recovery wall time.
-      tracer->Record(TraceStage::kRecoveryFetch, i, issued,
-                     t_fetched >= issued ? t_fetched - issued : 0);
-    }
-    Status st = apply_blob(std::move(fetched));
-    if (!st.ok() && !plan[i].fallbacks.empty()) {
-      // Replica tails hold byte-identical segments; any one of them will do.
-      for (const auto& alt : plan[i].fallbacks) {
-        st = apply_blob(transfers.GetAsync(route, alt).get());
-        if (st.ok()) break;
-      }
-    }
-    if (tracing) {
-      const std::uint64_t t_applied = clock->NowMicros();
-      tracer->Record(TraceStage::kRecoveryApply, i, t_fetched,
-                     t_applied - t_fetched);
-    }
-    if (!plan[i].is_wal) {
-      // A failed dump/checkpoint part fails the whole recovery (the DB
-      // page state would be incomplete) — as in the serial path.
-      GINJA_RETURN_IF_ERROR(st);
-      ++r.db_objects_applied;
-    } else if (!st.ok()) {
-      // A corrupt/missing WAL object truncates the recoverable tail, the
-      // same as a gap; everything before it is still consistent.
-      r.gap_detected = true;
-      wal_tail_truncated = true;
-      break;
-    } else {
-      if (plan[i].is_tail) {
-        ++r.tail_segments_applied;
-      } else {
-        ++r.wal_objects_applied;
-      }
-      r.recovered_to_ts = plan[i].wal_ts;
-    }
-  }
-  if (gap_after_plan && !wal_tail_truncated) r.gap_detected = true;
+  ctx.clock = clock;
+  ctx.tracer = config.obs ? &config.obs->tracer : nullptr;
+  ctx.window = static_cast<std::size_t>(std::max(1, config.recovery_prefetch));
+  TailApplyResult applied = ApplyTailPlan(plan.items, ctx, &r);
+  if (!applied.db_failure.ok()) return applied.db_failure;
+  if (plan.gap_after_plan && !applied.wal_truncated) r.gap_detected = true;
 
   if (clock) r.duration_micros = clock->NowMicros() - started_at;
   if (r.gap_detected) {

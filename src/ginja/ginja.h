@@ -38,23 +38,9 @@
 #include "ginja/config.h"
 #include "ginja/pitr.h"
 #include "ginja/processor.h"
+#include "ginja/tail_apply.h"  // RecoveryReport + the shared apply loop
 
 namespace ginja {
-
-struct RecoveryReport {
-  std::uint64_t objects_downloaded = 0;
-  std::uint64_t bytes_downloaded = 0;   // enveloped bytes
-  std::uint64_t wal_objects_applied = 0;
-  // Early-ack tail segments (WALTAIL/) applied from an unfinished streamed
-  // WAL object — the acked prefix of the batch that was in flight.
-  std::uint64_t tail_segments_applied = 0;
-  std::uint64_t db_objects_applied = 0;
-  std::uint64_t files_written = 0;
-  std::uint64_t recovered_to_ts = 0;    // highest WAL-object ts applied
-  bool found_dump = false;
-  bool gap_detected = false;            // WAL tail truncated at a ts gap
-  std::uint64_t duration_micros = 0;    // model time
-};
 
 class Ginja : public FileEventListener {
  public:

@@ -1,0 +1,141 @@
+// Shared tail-apply machinery — the one place the "fetch cloud objects in
+// order, decode, write into a DB image" loop lives.
+//
+// Three consumers drive it:
+//   * Ginja::Recover — disaster recovery: full LIST → bootstrap plan →
+//     windowed apply into an empty target (paper Alg. 1 lines 23–40);
+//   * point-in-time recovery — the same plan opened at an arbitrary
+//     frontier (`up_to_ts`), which is all time travel is;
+//   * StandbyReplica — warm tailing: the bootstrap plan once, then
+//     ContinueWalPlan() increments against an incremental LIST cursor,
+//     applied into a live image so promotion is O(lag), not O(DB).
+//
+// The plan is computable before the first GET because object names carry
+// their recovery metadata (ts, redo LSN, part counts): a K-deep prefetch
+// window changes *when* bytes arrive but never *what* is applied, and
+// report counters advance at apply time so reports are K-invariant.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/object_store.h"
+#include "cloud/transfer.h"
+#include "common/clock.h"
+#include "common/codec/envelope.h"
+#include "db/layout.h"
+#include "fs/vfs.h"
+#include "ginja/object_id.h"
+#include "obs/trace.h"
+
+namespace ginja {
+
+struct RecoveryReport {
+  std::uint64_t objects_downloaded = 0;
+  std::uint64_t bytes_downloaded = 0;   // enveloped bytes
+  std::uint64_t wal_objects_applied = 0;
+  // Early-ack tail segments (WALTAIL/) applied from an unfinished streamed
+  // WAL object — the acked prefix of the batch that was in flight.
+  std::uint64_t tail_segments_applied = 0;
+  std::uint64_t db_objects_applied = 0;
+  std::uint64_t files_written = 0;
+  std::uint64_t recovered_to_ts = 0;    // highest WAL-object ts applied
+  bool found_dump = false;
+  bool gap_detected = false;            // WAL tail truncated at a ts gap
+  std::uint64_t duration_micros = 0;    // model time
+};
+
+// One object to fetch and apply, in plan order.
+struct TailPlanItem {
+  std::string name;
+  bool is_wal = false;
+  bool is_tail = false;       // WALTAIL/ segment of an unfinished object
+  std::uint64_t wal_ts = 0;
+  // Replica tails holding the same segment bytes, tried in order when
+  // the primary fails; empty for everything else.
+  std::vector<std::string> fallbacks;
+};
+
+struct TailPlan {
+  std::vector<TailPlanItem> items;
+  bool found_dump = false;
+  // True when the visible WAL tail is truncated: a ts gap past the planned
+  // run, or a tails-only (unfinished) object ending the plan.
+  bool gap_after_plan = false;
+  Lsn last_redo_lsn = 0;      // redo point of the planned DB objects
+  // Newest WAL-object ts visible in the listing (planned or not); feeds
+  // the standby's lag gauge.
+  std::optional<std::uint64_t> newest_wal_ts;
+  // Where tailing continues after this plan: the ts after the last
+  // consecutive full WAL object considered — or the unfinished streamed ts
+  // itself when the plan ends in its tail segments (more segments, or the
+  // folded object, may yet appear).
+  std::uint64_t resume_ts = 0;
+  // Next unapplied tail segment index of `resume_ts` (the standby resumes
+  // its per-ts segment cursor here); 0 when the plan has no tail items.
+  std::uint32_t resume_tail_segs = 0;
+};
+
+// Builds the bootstrap fetch plan from a full bucket listing: the latest
+// *complete* dump, complete checkpoints newer than it, WAL objects past the
+// planned redo LSN in consecutive-ts order, and the dense acked
+// tail-segment prefix of at most one unfinished streamed object. With
+// `up_to_ts`, only objects with ts <= the limit participate (PITR).
+TailPlan BuildTailPlan(const std::vector<ObjectMeta>& objects,
+                       std::optional<std::uint64_t> up_to_ts);
+
+// Incremental continuation for a tailing standby: full WAL objects with
+// ts >= next_ts out of a (cursor-)listing, in consecutive order starting
+// exactly at next_ts; stops before the first gap. `newest_ts` (optional
+// out) reports the newest WAL ts seen, applied or not, for lag tracking.
+std::vector<TailPlanItem> ContinueWalPlan(
+    const std::vector<ObjectMeta>& objects, std::uint64_t next_ts,
+    std::optional<std::uint64_t> up_to_ts,
+    std::optional<std::uint64_t>* newest_ts);
+
+// The dense acked segment run of one streamed ts, as plan items with
+// replica fallbacks. Segments below `from_seg` are skipped (already
+// applied); the run starts at from_seg or at the lowest surviving segment
+// beyond it (GC only ever deletes a seg-prefix) and ends at the first
+// hole — what followed the hole was never acknowledged.
+std::vector<TailPlanItem> BuildTailSegmentItems(
+    const std::map<std::uint32_t, std::vector<TailObjectId>>& segs,
+    std::uint64_t ts, std::uint32_t from_seg);
+
+// Everything ApplyTailPlan needs, parameterized so recovery and the warm
+// standby share one loop but trace into their own stages.
+struct TailApplyContext {
+  TransferManager* transfers = nullptr;
+  TransferRoute route;                  // default: the manager's own store
+  const Envelope* envelope = nullptr;
+  VfsPtr target;
+  std::shared_ptr<Clock> clock;         // null => untraced
+  WriteTracer* tracer = nullptr;        // null => untraced
+  std::size_t window = 1;               // K GETs kept in flight
+  TraceStage fetch_stage = TraceStage::kRecoveryFetch;
+  TraceStage apply_stage = TraceStage::kRecoveryApply;
+  std::uint64_t trace_id_base = 0;      // plan index offset for span ids
+};
+
+struct TailApplyResult {
+  // Non-OK when a dump/checkpoint part failed — the page state would be
+  // incomplete, so the whole recovery fails.
+  Status db_failure = Status::Ok();
+  // A WAL object/tail failure truncates the recoverable tail (same as a
+  // gap); everything applied before it is still consistent.
+  bool wal_truncated = false;
+  Status wal_failure = Status::Ok();    // the status that truncated it
+  std::size_t items_applied = 0;        // plan items consumed successfully
+};
+
+// Windowed ordered apply: up to `window` GETs in flight, decode on the
+// calling thread (fanning chunks across the envelope's codec pool),
+// applies strictly in plan order. Counters in `r` advance only as objects
+// are consumed, so the report is identical for every window size.
+TailApplyResult ApplyTailPlan(const std::vector<TailPlanItem>& plan,
+                              const TailApplyContext& ctx, RecoveryReport* r);
+
+}  // namespace ginja

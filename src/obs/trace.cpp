@@ -43,6 +43,8 @@ const char* TraceStageName(TraceStage stage) {
     case TraceStage::kPutFirstByte: return "put_first_byte";
     case TraceStage::kPartPut: return "part_put";
     case TraceStage::kTailPut: return "tail_put";
+    case TraceStage::kTailFetch: return "tail_fetch";
+    case TraceStage::kTailApply: return "tail_apply";
   }
   return "?";
 }

@@ -51,8 +51,10 @@ enum class TraceStage : std::uint8_t {
   kPutFirstByte,     // stream open → first data segment durable
   kPartPut,          // segment sealed → its part durable (streaming)
   kTailPut,          // segment sealed → replica-0 tail object durable
+  kTailFetch,        // standby tail object: GET issued → blob consumed
+  kTailApply,        // standby tail object: decode + apply into the image
 };
-inline constexpr int kTraceStageCount = 14;
+inline constexpr int kTraceStageCount = 16;
 
 const char* TraceStageName(TraceStage stage);
 

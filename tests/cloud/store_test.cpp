@@ -134,6 +134,61 @@ TEST_P(StoreConformance, StreamedOutOfOrderPartRejected) {
             ErrorCode::kInvalidArgument);
 }
 
+TEST_P(StoreConformance, ListStartAfterCursor) {
+  ASSERT_TRUE(store_->Put("WAL/0_a", View(B("a"))).ok());
+  ASSERT_TRUE(store_->Put("WAL/1_b", View(B("b"))).ok());
+  ASSERT_TRUE(store_->Put("WAL/2_c", View(B("c"))).ok());
+  ASSERT_TRUE(store_->Put("DB/1_x", View(B("d"))).ok());
+
+  // Strictly after: the cursor key itself is excluded.
+  auto after = store_->List("WAL/", "WAL/1_b");
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->size(), 1u);
+  EXPECT_EQ((*after)[0].name, "WAL/2_c");
+
+  // The standby's derived cursor — the next expected key, not a seen one —
+  // keeps every name at or past that ts (they all sort after the bare
+  // "WAL/<ts>" because of the following '_').
+  auto derived = store_->List("WAL/", "WAL/1");
+  ASSERT_TRUE(derived.ok());
+  ASSERT_EQ(derived->size(), 2u);
+  EXPECT_EQ((*derived)[0].name, "WAL/1_b");
+  EXPECT_EQ((*derived)[1].name, "WAL/2_c");
+
+  // Empty cursor == plain prefix listing; a cursor below the prefix too.
+  auto all = store_->List("WAL/", "");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 3u);
+  auto early = store_->List("WAL/", "A");
+  ASSERT_TRUE(early.ok());
+  EXPECT_EQ(early->size(), 3u);
+
+  // A cursor past every key returns nothing.
+  auto none = store_->List("WAL/", "WAL/9");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+// The documented hazard: unpadded timestamps make lexicographic and numeric
+// order diverge across a digit-length change, so "the last key I saw" is
+// NOT a safe cursor — it would skip the rollover object.
+TEST_P(StoreConformance, ListStartAfterUnpaddedTsHazard) {
+  ASSERT_TRUE(store_->Put("WAL/9_a", View(B("a"))).ok());
+  ASSERT_TRUE(store_->Put("WAL/10_b", View(B("b"))).ok());
+  auto after_seen = store_->List("WAL/", "WAL/9_a");
+  ASSERT_TRUE(after_seen.ok());
+  EXPECT_TRUE(after_seen->empty());  // "WAL/10_b" < "WAL/9_a": skipped!
+  // The next-expected-ts cursor ("WAL/10") does reach it — along with the
+  // already-seen "WAL/9_a", which also sorts after "WAL/10". The cursor
+  // guarantees nothing needed is *skipped*; consumers still re-filter
+  // trailing old names by decoded ts (ContinueWalPlan's ts < next_ts).
+  auto after_expected = store_->List("WAL/", "WAL/10");
+  ASSERT_TRUE(after_expected.ok());
+  ASSERT_EQ(after_expected->size(), 2u);
+  EXPECT_EQ((*after_expected)[0].name, "WAL/10_b");
+  EXPECT_EQ((*after_expected)[1].name, "WAL/9_a");
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, StoreConformance,
                          ::testing::Values("memory", "disk", "s3"));
 

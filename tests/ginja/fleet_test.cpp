@@ -304,6 +304,27 @@ TEST(FleetNamespace, PrefixesKeysAndStripsListings) {
   EXPECT_FALSE(base->Get("t/alpha/WAL/1").ok());
 }
 
+TEST(FleetNamespace, CursorListingScopesTheStartAfterKey) {
+  // The start-after cursor must be scoped like the prefix: a tenant's
+  // standby passes flat keys, and they compare against flat keys only.
+  auto base = std::make_shared<MemoryStore>();
+  TenantNamespace ns(base, TenantNamespace::Prefix("alpha"));
+  ASSERT_TRUE(ns.Put("WAL/1_a", View(Bytes{1})).ok());
+  ASSERT_TRUE(ns.Put("WAL/2_b", View(Bytes{2})).ok());
+  TenantNamespace other(base, TenantNamespace::Prefix("beta"));
+  ASSERT_TRUE(other.Put("WAL/3_c", View(Bytes{3})).ok());
+
+  auto list = ns.List("WAL/", "WAL/1_a");
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list->size(), 1u);
+  EXPECT_EQ((*list)[0].name, "WAL/2_b");  // stripped, and no beta leakage
+
+  auto derived = ns.List("WAL/", "WAL/2");
+  ASSERT_TRUE(derived.ok());
+  ASSERT_EQ(derived->size(), 1u);
+  EXPECT_EQ((*derived)[0].name, "WAL/2_b");
+}
+
 TEST(FleetNamespace, TenantsAreMutuallyInvisible) {
   auto base = std::make_shared<MemoryStore>();
   TenantNamespace a(base, TenantNamespace::Prefix("a"));
