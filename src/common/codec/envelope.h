@@ -93,6 +93,9 @@ class Envelope {
   // Optional worker pool for chunk-parallel v2 encoding. Without one (or
   // with a single-threaded pool) chunks encode serially — same bytes out.
   void SetCodecPool(std::shared_ptr<CodecPool> pool) { pool_ = std::move(pool); }
+  // The attached pool (may be null). The checkpoint pipeline borrows it to
+  // fan delta-dump chunk hashing across the same codec budget.
+  const std::shared_ptr<CodecPool>& codec_pool() const { return pool_; }
 
   // Encodes a payload for upload. Nonce must be unique per object; Ginja
   // uses the object timestamp.

@@ -45,6 +45,30 @@ double CostModel::RecoveryCost(bool colocated_vm) const {
   return 4.0 * (monthly.db_storage + monthly.wal_storage);
 }
 
+DumpUploadCost MonolithicDumpCost(double db_size_gb, double max_object_mb,
+                                  const PriceBook& prices) {
+  DumpUploadCost out;
+  out.bytes_uploaded = db_size_gb * 1024.0 * 1024.0 * 1024.0;
+  out.put_requests =
+      std::ceil(db_size_gb * 1024.0 / std::max(1e-9, max_object_mb));
+  out.dollars = out.put_requests * prices.per_put;
+  return out;
+}
+
+DumpUploadCost DeltaDumpCost(double db_size_gb, double churn_fraction,
+                             double chunk_bytes, const PriceBook& prices) {
+  DumpUploadCost out;
+  const double db_bytes = db_size_gb * 1024.0 * 1024.0 * 1024.0;
+  const double chunks = std::ceil(db_bytes / std::max(1.0, chunk_bytes));
+  const double dirty = std::ceil(chunks * std::clamp(churn_fraction, 0.0, 1.0));
+  // Per-chunk PUTs for the dirty set, plus the manifest object (~44 bytes
+  // per chunk reference — path, offset, length, 20-byte digest).
+  out.bytes_uploaded = dirty * chunk_bytes + chunks * 44.0;
+  out.put_requests = dirty + 1.0;
+  out.dollars = out.put_requests * prices.per_put;
+  return out;
+}
+
 double MaxSyncsPerHourForBudget(double db_size_gb, double budget_dollars,
                                 const PriceBook& prices) {
   const double storage = db_size_gb * prices.storage_gb_month;

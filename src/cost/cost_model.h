@@ -55,6 +55,23 @@ class CostModel {
   CostModelParams p_;
 };
 
+// One dump's upload bill, monolithic vs content-addressed delta
+// (dedup_dumps). A monolithic dump re-uploads the whole image split at
+// max_object_mb; a delta dump uploads one manifest plus only the chunks
+// whose content changed since the previous dump. `churn_fraction` is the
+// fraction of chunks dirtied between dumps (0 = nothing changed, 1 = a
+// cold first dump — every chunk plus the manifest).
+struct DumpUploadCost {
+  double bytes_uploaded = 0;  // plaintext bytes sent to the store
+  double put_requests = 0;    // PUT count (chunks/parts + manifest)
+  double dollars = 0;         // put_requests × per_put
+};
+
+DumpUploadCost MonolithicDumpCost(double db_size_gb, double max_object_mb,
+                                  const PriceBook& prices);
+DumpUploadCost DeltaDumpCost(double db_size_gb, double churn_fraction,
+                             double chunk_bytes, const PriceBook& prices);
+
 // Figure 1: for a database of `db_size_gb`, the maximum number of cloud
 // synchronizations per hour that keeps the monthly cost under `budget`.
 // Uses the paper's Figure-1 simplification: cost = storage (size × price)

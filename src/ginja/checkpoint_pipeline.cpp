@@ -4,6 +4,7 @@
 #include <deque>
 #include <future>
 #include <map>
+#include <set>
 #include <utility>
 
 #include "ginja/fleet_runtime.h"
@@ -23,7 +24,8 @@ CheckpointPipeline::CheckpointPipeline(ObjectStorePtr store,
       config_(config),
       envelope_(std::move(envelope)),
       local_vfs_(std::move(local_vfs)),
-      layout_(layout) {
+      layout_(layout),
+      chunk_index_(std::make_shared<ChunkIndex>()) {
   if (config_.runtime) {
     // Fleet mode: part PUTs and GC deletes run on the runtime's shared
     // manager (which carries its own "fleet" metrics), billed to this
@@ -69,6 +71,14 @@ void CheckpointPipeline::RegisterMetrics() {
                     &stats_.wal_tails_deleted);
   r.RegisterCounter(this, "ginja_gc_db_objects_deleted_total", Labels(),
                     &stats_.db_objects_deleted);
+  r.RegisterCounter(this, "ginja_dedup_hit_bytes_total", Labels(),
+                    &stats_.dedup_hit_bytes);
+  r.RegisterCounter(this, "ginja_dedup_miss_bytes_total", Labels(),
+                    &stats_.dedup_miss_bytes);
+  r.RegisterCounter(this, "ginja_chunks_uploaded_total", Labels(),
+                    &stats_.chunks_uploaded);
+  r.RegisterCounter(this, "ginja_chunks_deleted_total", Labels(),
+                    &stats_.chunks_deleted);
   r.RegisterGauge(this, "ginja_checkpoint_inflight_jobs", Labels(), [this] {
     std::lock_guard<std::mutex> lock(mu_);
     return static_cast<double>(inflight_jobs_);
@@ -128,26 +138,59 @@ bool CheckpointPipeline::InCheckpoint() const {
 }
 
 void CheckpointPipeline::AddWrite(FileEntry entry) {
+  // Keep the size cache exact instead of invalidating: an in-place page
+  // rewrite changes nothing, an extending (or file-creating) write adds
+  // exactly the bytes past the known end.
+  {
+    std::lock_guard<std::mutex> lock(size_mu_);
+    if (size_valid_ && CountsTowardDbSize(entry.path)) {
+      const std::uint64_t end = entry.offset + entry.data.size();
+      std::uint64_t& known = size_file_end_[entry.path];
+      if (end > known) {
+        size_cached_ += end - known;
+        known = end;
+      }
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
   collected_.push_back(std::move(entry));
 }
 
-std::uint64_t CheckpointPipeline::LocalDbSizeBytes() const {
-  auto files = local_vfs_->ListFiles("");
-  if (!files.ok()) return 0;
-  std::uint64_t total = 0;
-  for (const auto& path : *files) {
-    if (layout_.Classify(path, 0) == FileKind::kWalSegment &&
-        layout_.flavor == DbFlavor::kPostgres) {
-      continue;  // pg_xlog segments are not database files
-    }
-    if (layout_.flavor == DbFlavor::kMySql && path.starts_with("ib_logfile")) {
-      continue;  // the redo log (header aside) is not database data
-    }
-    auto size = local_vfs_->FileSize(path);
-    if (size.ok()) total += *size;
+bool CheckpointPipeline::CountsTowardDbSize(const std::string& path) const {
+  if (layout_.flavor == DbFlavor::kPostgres &&
+      layout_.Classify(path, 0) == FileKind::kWalSegment) {
+    return false;  // pg_xlog segments are not database files
   }
+  if (layout_.flavor == DbFlavor::kMySql && path.starts_with("ib_logfile")) {
+    return false;  // the redo log (header aside) is not database data
+  }
+  return true;
+}
+
+std::uint64_t CheckpointPipeline::LocalDbSizeBytes() const {
+  std::lock_guard<std::mutex> lock(size_mu_);
+  if (size_valid_) return size_cached_;
+  auto files = local_vfs_->ListFiles("");
+  if (!files.ok()) return 0;  // transient: leave the cache invalid
+  std::uint64_t total = 0;
+  size_file_end_.clear();
+  for (const auto& path : *files) {
+    if (!CountsTowardDbSize(path)) continue;
+    auto size = local_vfs_->FileSize(path);
+    if (size.ok()) {
+      total += *size;
+      size_file_end_[path] = *size;
+    }
+  }
+  size_cached_ = total;
+  size_valid_ = true;
   return total;
+}
+
+void CheckpointPipeline::InvalidateLocalDbSizeCache() {
+  std::lock_guard<std::mutex> lock(size_mu_);
+  size_valid_ = false;
+  size_file_end_.clear();
 }
 
 std::vector<FileEntry> CheckpointPipeline::BuildDumpEntries() const {
@@ -260,6 +303,13 @@ void CheckpointPipeline::CheckpointerLoop() {
           break;
         }
       }
+    }
+    // Delta-dump representation (dedup_dumps): the dump becomes CHUNK/
+    // objects plus one manifest instead of monolithic parts. Incremental
+    // checkpoints keep the part path — their payload is already the delta.
+    if (config_.dedup_dumps && job->type == DbObjectType::kDump) {
+      ProcessDeltaDump(*job);
+      continue;
     }
     // Split the entries into parts at the object-size limit; large single
     // entries (e.g. a dumped multi-GB table file) are chunked. Parts hold
@@ -386,6 +436,151 @@ void CheckpointPipeline::CheckpointerLoop() {
   }
 }
 
+void CheckpointPipeline::ProcessDeltaDump(const DbObjectJob& job) {
+  const std::uint64_t seq = view_->NextCheckpointSeq();
+
+  // Chunk + hash the image, fanned across the shared codec pool (the
+  // SHA-NI path per worker where the CPU has it).
+  const std::uint64_t t_hash = Tracing() ? clock_->NowMicros() : 0;
+  const std::vector<ChunkRef> refs = ChunkDumpEntries(
+      job.entries, config_.dedup_chunk_bytes, envelope_->codec_pool().get());
+  if (Tracing()) {
+    const std::uint64_t now = clock_->NowMicros();
+    tracer_->Record(TraceStage::kChunkHash, seq, t_hash,
+                    now >= t_hash ? now - t_hash : 0);
+  }
+
+  // Dedup pass: the first occurrence of a digest the cloud lacks uploads;
+  // every other ref — already present, or repeated within this dump — is a
+  // hit. Orphans from a previously torn upload count as hits here, which
+  // is what makes torn delta dumps resumable.
+  std::map<std::string, const FileEntry*> by_path;
+  for (const auto& entry : job.entries) by_path[entry.path] = &entry;
+  std::vector<std::size_t> missing;
+  std::set<Sha1::Digest> scheduled;
+  std::uint64_t logical_bytes = 0;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    logical_bytes += refs[i].length;
+    if (chunk_index_->Contains(refs[i].digest) ||
+        scheduled.count(refs[i].digest) > 0) {
+      stats_.dedup_hit_bytes.Add(refs[i].length);
+    } else {
+      scheduled.insert(refs[i].digest);
+      missing.push_back(i);
+      stats_.dedup_miss_bytes.Add(refs[i].length);
+    }
+  }
+
+  // Missing chunks PUT through the same window as monolithic parts. Each
+  // landed chunk is durable whether or not this dump's manifest ever
+  // lands, so it is marked present immediately — a torn upload resumes.
+  bool all_uploaded = true;
+  struct InflightChunk {
+    std::future<Status> status;
+    std::size_t size = 0;      // enveloped
+    std::size_t ref = 0;       // index into refs
+    std::uint64_t submit_us = 0;
+  };
+  std::deque<InflightChunk> inflight;
+  const std::size_t window =
+      static_cast<std::size_t>(std::max(1, config_.transfer_concurrency));
+  auto reap_one = [&] {
+    InflightChunk p = std::move(inflight.front());
+    inflight.pop_front();
+    const Status st = p.status.get();
+    if (st.ok()) {
+      stats_.chunks_uploaded.Add();
+      stats_.bytes_uploaded.Add(p.size);
+      chunk_index_->MarkPresent(refs[p.ref].digest, refs[p.ref].length);
+      if (Tracing()) {
+        const std::uint64_t now = clock_->NowMicros();
+        tracer_->Record(TraceStage::kCheckpointPart, (seq << 16) | p.ref,
+                        p.submit_us,
+                        now >= p.submit_us ? now - p.submit_us : 0);
+      }
+    } else {
+      all_uploaded = false;
+      if (st.code() != ErrorCode::kAborted) {
+        Log(LogLevel::kWarn, "checkpoint", "chunk upload failed",
+            {{"status", st.ToString()}});
+      }
+    }
+  };
+  for (std::size_t k = 0; k < missing.size() && all_uploaded; ++k) {
+    const ChunkRef& ref = refs[missing[k]];
+    const FileEntry& entry = *by_path.at(ref.path);
+    const ByteView slice = View(entry.data)
+        .subspan(static_cast<std::size_t>(ref.offset - entry.offset),
+                 ref.length);
+    // Convergent nonce: identical plaintext chunks envelope to identical
+    // ciphertext, so CHUNK/ names stay deduplicable under encryption.
+    Bytes enveloped = envelope_->Encode(slice, ChunkNonce(ref.digest));
+    const std::size_t enveloped_size = enveloped.size();
+    while (inflight.size() >= window && all_uploaded) reap_one();
+    if (!all_uploaded) break;
+    InflightChunk p;
+    p.size = enveloped_size;
+    p.ref = missing[k];
+    p.submit_us = Tracing() ? clock_->NowMicros() : 0;
+    p.status = transfer_->PutAsync(
+        Route(), ChunkObjectId{ref.digest, ref.length}.Encode(),
+        std::move(enveloped));
+    inflight.push_back(std::move(p));
+  }
+  while (!inflight.empty()) reap_one();
+  if (!all_uploaded) {
+    bool killed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      killed = killed_;
+    }
+    // No manifest was PUT, so the dump is invisible to recovery; the
+    // chunks that did land resume the next attempt.
+    if (!killed) {
+      Log(LogLevel::kWarn, "checkpoint",
+          "incomplete delta dump, manifest withheld",
+          {{"seq", seq},
+           {"chunks", static_cast<std::uint64_t>(missing.size())}});
+    }
+    return;
+  }
+
+  // Manifest strictly last — the delta-dump analogue of the all-parts-or-
+  // invisible rule: recovery only trusts a dump whose manifest is visible,
+  // and a visible manifest implies every chunk above was durable first.
+  DbObjectId id;
+  id.ts = job.ts;
+  id.type = DbObjectType::kManifest;
+  id.size = logical_bytes;  // logical DB bytes: keeps the 150% rule exact
+  id.seq = seq;
+  id.redo_lsn = job.redo_lsn;
+  id.part = 0;
+  id.total_parts = 1;
+  const Bytes payload = EncodeManifest(refs);
+  const std::uint64_t nonce = (1ull << 63) | (seq << 16);
+  Bytes enveloped = envelope_->Encode(View(payload), nonce);
+  const std::size_t enveloped_size = enveloped.size();
+  const Status st =
+      transfer_->PutAsync(Route(), id.Encode(), std::move(enveloped)).get();
+  if (!st.ok()) {
+    if (st.code() != ErrorCode::kAborted) {
+      Log(LogLevel::kWarn, "checkpoint", "manifest upload failed",
+          {{"seq", seq}, {"status", st.ToString()}});
+    }
+    return;
+  }
+  stats_.db_objects_uploaded.Add();
+  stats_.bytes_uploaded.Add(enveloped_size);
+  stats_.dumps_uploaded.Add();
+  view_->AddDb(id);
+  // Ref-before-release ordering: this manifest's chunks are pinned before
+  // GC below can release any older manifest, so a chunk shared by
+  // consecutive dumps never transiently reaches refcount zero.
+  chunk_index_->RegisterManifest(seq, refs);
+
+  if (!config_.keep_history) GarbageCollect(job, seq);
+}
+
 void CheckpointPipeline::GarbageCollect(const DbObjectJob& job,
                                         std::uint64_t uploaded_seq) {
   // Point-in-time retention (§5.4): objects a protected snapshot still
@@ -426,9 +621,9 @@ void CheckpointPipeline::GarbageCollect(const DbObjectJob& job,
       names.push_back(db.Encode());
     }
   }
-  if (names.empty()) return;
-
-  const std::vector<Status> statuses = transfer_->DeleteAll(Route(), names);
+  const std::vector<Status> statuses =
+      names.empty() ? std::vector<Status>{}
+                    : transfer_->DeleteAll(Route(), names);
   std::size_t i = 0;
   std::size_t failed = 0;
   for (const auto& wal : wal_victims) {
@@ -451,6 +646,13 @@ void CheckpointPipeline::GarbageCollect(const DbObjectJob& job,
     if (statuses[i++].ok()) {
       view_->RemoveDb(db);
       stats_.db_objects_deleted.Add();
+      // A deleted manifest drops its chunk references; the chunks
+      // themselves go in the second wave below, only once *no* surviving
+      // manifest needs them. Manifests in the retention keep-set were
+      // never victims, so their chunks keep their references.
+      if (db.type == DbObjectType::kManifest) {
+        chunk_index_->ReleaseManifest(db.seq);
+      }
     } else {
       ++failed;
     }
@@ -461,6 +663,36 @@ void CheckpointPipeline::GarbageCollect(const DbObjectJob& job,
     Log(LogLevel::kWarn, "checkpoint", "garbage collection incomplete",
         {{"failed_deletes", static_cast<std::uint64_t>(failed)},
          {"victims", static_cast<std::uint64_t>(names.size())}});
+  }
+
+  // Second wave: chunks no manifest references any more — superseded dump
+  // content whose manifest DELETE was just confirmed, plus orphans from
+  // torn uploads that nothing resumed. Runs strictly after the manifest
+  // statuses above, so a chunk is only deleted when every manifest that
+  // could reach it is provably gone (a failed manifest DELETE keeps its
+  // references, keeping its chunks alive for the retry).
+  if (config_.dedup_dumps) {
+    const std::vector<ChunkObjectId> dead = chunk_index_->ZeroRefChunks();
+    if (dead.empty()) return;
+    std::vector<std::string> chunk_names;
+    chunk_names.reserve(dead.size());
+    for (const auto& chunk : dead) chunk_names.push_back(chunk.Encode());
+    const std::vector<Status> chunk_statuses =
+        transfer_->DeleteAll(Route(), chunk_names);
+    std::size_t chunk_failed = 0;
+    for (std::size_t k = 0; k < dead.size(); ++k) {
+      if (chunk_statuses[k].ok()) {
+        chunk_index_->RemoveChunk(dead[k].digest);
+        stats_.chunks_deleted.Add();
+      } else {
+        ++chunk_failed;  // still indexed as zero-ref: next pass retries
+      }
+    }
+    if (chunk_failed > 0 && !Cancelled()) {
+      Log(LogLevel::kWarn, "checkpoint", "chunk garbage collection incomplete",
+          {{"failed_deletes", static_cast<std::uint64_t>(chunk_failed)},
+           {"victims", static_cast<std::uint64_t>(dead.size())}});
+    }
   }
 }
 

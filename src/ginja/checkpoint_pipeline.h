@@ -15,8 +15,10 @@
 
 #include <condition_variable>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -30,6 +32,7 @@
 #include "fs/vfs.h"
 #include "ginja/cloud_view.h"
 #include "ginja/config.h"
+#include "ginja/dedup.h"
 #include "ginja/payload.h"
 #include "ginja/pitr.h"
 
@@ -38,11 +41,18 @@ namespace ginja {
 struct CheckpointPipelineStats {
   Counter checkpoints_uploaded;
   Counter dumps_uploaded;
-  Counter db_objects_uploaded;   // parts
+  Counter db_objects_uploaded;   // parts (incl. manifests)
   Counter bytes_uploaded;        // enveloped
   Counter wal_objects_deleted;
   Counter wal_tails_deleted;   // superseded early-ack tail objects
   Counter db_objects_deleted;
+  // Delta-dump dedup (ginja/dedup.h). Hit/miss split the dump's logical
+  // bytes: hits were already in the cloud (not re-uploaded), misses were
+  // PUT as new CHUNK/ objects.
+  Counter dedup_hit_bytes;
+  Counter dedup_miss_bytes;
+  Counter chunks_uploaded;
+  Counter chunks_deleted;        // refcount GC reclamations
 };
 
 class CheckpointPipeline {
@@ -95,7 +105,22 @@ class CheckpointPipeline {
   }
 
   // Bytes of all non-WAL database files on local disk (the 150% baseline).
+  // Cached between checkpoints: the first call walks the VFS, later calls
+  // return the cached total, kept exact by AddWrite (observed data-file
+  // writes extend the per-file high-water marks incrementally) and dropped
+  // by InvalidateLocalDbSizeCache on removals/truncations.
   std::uint64_t LocalDbSizeBytes() const;
+  // Drops the size cache; the next LocalDbSizeBytes re-walks the VFS. The
+  // processor calls this on non-write file events (remove/truncate).
+  void InvalidateLocalDbSizeCache();
+
+  // Shared chunk inventory for delta dumps (dedup_dumps). Ginja injects
+  // one it owns (rebuilt from the bucket on Reboot); a directly-constructed
+  // pipeline uses a private index. Call before Start().
+  void SetChunkIndex(std::shared_ptr<ChunkIndex> index) {
+    chunk_index_ = std::move(index);
+  }
+  const std::shared_ptr<ChunkIndex>& chunk_index() const { return chunk_index_; }
 
   const CheckpointPipelineStats& stats() const { return stats_; }
 
@@ -110,7 +135,13 @@ class CheckpointPipeline {
 
   void CheckpointerLoop();
   std::vector<FileEntry> BuildDumpEntries() const;
+  // Delta-dump upload (dedup_dumps): chunk + hash the image, PUT only the
+  // chunks the cloud lacks, then the manifest strictly last, then GC.
+  void ProcessDeltaDump(const DbObjectJob& job);
   void GarbageCollect(const DbObjectJob& job, std::uint64_t uploaded_seq);
+  // Whether `path` participates in the 150%-rule size walk (WAL segments
+  // and the MySQL redo log do not).
+  bool CountsTowardDbSize(const std::string& path) const;
   void RegisterMetrics();
   // {tenant=<id>} for a fleet member, empty standalone (see CommitPipeline).
   MetricLabels Labels() const {
@@ -144,7 +175,18 @@ class CheckpointPipeline {
   // to this tenant's operations on the shared manager.
   TransferAccountPtr account_;
   std::shared_ptr<RetentionPolicy> retention_;
+  std::shared_ptr<ChunkIndex> chunk_index_;
   std::function<Lsn()> wal_frontier_fn_;
+
+  // LocalDbSizeBytes cache (separate lock: AddWrite touches it outside
+  // mu_, and the walk must not block checkpoint begin/end).
+  mutable std::mutex size_mu_;
+  mutable bool size_valid_ = false;
+  mutable std::uint64_t size_cached_ = 0;
+  // Observed end-of-file per counted path; lets in-place page rewrites
+  // (the common case) keep the cache valid and extending writes adjust the
+  // total exactly instead of invalidating.
+  mutable std::map<std::string, std::uint64_t> size_file_end_;
 
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;

@@ -92,6 +92,16 @@ struct GinjaConfig {
   // A dump replaces incremental checkpoints when cloud DB objects reach
   // this multiple of the local database size (§5.3: 150%).
   double dump_threshold = 1.5;
+  // Content-addressed delta dumps (see ginja/dedup.h): a dump uploads a
+  // small manifest referencing CHUNK/<sha1> objects, PUTting only chunks
+  // not already in the cloud — O(changed pages) instead of O(DB). Off by
+  // default; the monolithic path stays byte-identical to prior releases.
+  bool dedup_dumps = false;
+  // Chunk size for delta dumps. Must be a multiple of 4 KiB so boundaries
+  // stay page-aligned for both DB flavors. The default balances dedup
+  // granularity against per-chunk request latency on WAN-class stores:
+  // smaller chunks dedup finer but make recovery base-latency-bound.
+  std::size_t dedup_chunk_bytes = 256 * 1024;
 
   // -- object encoding (§5.4) -----------------------------------------------------
   EnvelopeOptions envelope;
@@ -155,6 +165,12 @@ inline Status ValidateGinjaConfig(const GinjaConfig& config) {
     return Status::InvalidArgument(
         "stream_segment_writes must be >= 1 (a segment that never fills "
         "never uploads, hanging the streaming path)");
+  }
+  if (config.dedup_dumps &&
+      (config.dedup_chunk_bytes == 0 || config.dedup_chunk_bytes % 4096 != 0)) {
+    return Status::InvalidArgument(
+        "dedup_chunk_bytes must be a non-zero multiple of 4096 (chunk "
+        "boundaries must stay page-aligned or churn detection degrades)");
   }
   return Status::Ok();
 }

@@ -1,0 +1,278 @@
+#include "ginja/dedup.h"
+
+#include <algorithm>
+
+#include "common/codec/codec_pool.h"
+#include "ginja/object_id.h"
+
+namespace ginja {
+
+namespace {
+
+constexpr std::uint32_t kManifestMagic = 0x31464D47;  // "GMF1" little-endian
+constexpr std::size_t kHexDigestLen = Sha1::kDigestSize * 2;
+
+}  // namespace
+
+std::string ChunkObjectId::Encode() const {
+  return "CHUNK/" + ToHex(ByteView(digest.data(), digest.size())) + "_" +
+         std::to_string(size);
+}
+
+std::optional<ChunkObjectId> ChunkObjectId::Decode(std::string_view name) {
+  if (!name.starts_with("CHUNK/")) return std::nullopt;
+  name.remove_prefix(6);
+  if (name.size() < kHexDigestLen + 2 || name[kHexDigestLen] != '_') {
+    return std::nullopt;
+  }
+  const auto raw = FromHex(name.substr(0, kHexDigestLen));
+  if (!raw) return std::nullopt;
+  std::uint64_t size = 0;
+  std::string_view size_field = name.substr(kHexDigestLen + 1);
+  for (char c : size_field) {
+    if (c < '0' || c > '9') return std::nullopt;
+    size = size * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  ChunkObjectId out;
+  std::copy(raw->begin(), raw->end(), out.digest.begin());
+  out.size = size;
+  return out;
+}
+
+std::uint64_t ChunkNonce(const Sha1::Digest& digest) {
+  // Top byte 0x51 tags the chunk subspace; the remaining 56 bits come from
+  // the digest prefix, so identical content yields an identical nonce
+  // (convergent encryption) while distinct content collides only at the
+  // 2^28 birthday bound — far beyond any realistic chunk population, and a
+  // collision would only reuse keystream across two *different* chunks of
+  // page-image data, not break the MAC.
+  std::uint64_t v = 0x51ull << 56;
+  for (int i = 0; i < 7; ++i) {
+    v |= static_cast<std::uint64_t>(digest[i]) << (8 * (6 - i));
+  }
+  return v;
+}
+
+std::vector<ChunkRef> ChunkDumpEntries(const std::vector<FileEntry>& entries,
+                                       std::size_t chunk_bytes,
+                                       CodecPool* pool) {
+  const std::size_t step = std::max<std::size_t>(1, chunk_bytes);
+  std::vector<ChunkRef> refs;
+  std::vector<ByteView> slices;
+  for (const auto& entry : entries) {
+    const ByteView data = View(entry.data);
+    std::size_t pos = 0;
+    do {
+      const std::size_t len = std::min(step, data.size() - pos);
+      ChunkRef ref;
+      ref.path = entry.path;
+      ref.offset = entry.offset + pos;
+      ref.length = static_cast<std::uint32_t>(len);
+      refs.push_back(std::move(ref));
+      slices.push_back(data.subspan(pos, len));
+      pos += len;
+    } while (pos < data.size());
+  }
+  // Hashing dominates delta-dump build time for a large image; fan it
+  // across the shared codec pool (SHA-NI per worker where available).
+  auto hash_one = [&](std::size_t i) { refs[i].digest = Sha1::Hash(slices[i]); };
+  if (pool != nullptr && pool->threads() > 1) {
+    pool->ParallelFor(refs.size(), hash_one);
+  } else {
+    for (std::size_t i = 0; i < refs.size(); ++i) hash_one(i);
+  }
+  return refs;
+}
+
+Bytes EncodeManifest(const std::vector<ChunkRef>& refs) {
+  Bytes out;
+  PutU32(out, kManifestMagic);
+  PutVarint(out, refs.size());
+  for (const auto& ref : refs) {
+    PutVarint(out, ref.path.size());
+    Append(out, ByteView(reinterpret_cast<const std::uint8_t*>(ref.path.data()),
+                         ref.path.size()));
+    PutVarint(out, ref.offset);
+    PutVarint(out, ref.length);
+    Append(out, ByteView(ref.digest.data(), ref.digest.size()));
+  }
+  return out;
+}
+
+Result<std::vector<ChunkRef>> DecodeManifest(ByteView payload) {
+  if (payload.size() < 4 || GetU32(payload.data()) != kManifestMagic) {
+    return Status::Corruption("manifest: bad magic");
+  }
+  std::size_t pos = 4;
+  const auto count = GetVarint(payload, pos);
+  if (!count) return Status::Corruption("manifest: truncated count");
+  std::vector<ChunkRef> refs;
+  refs.reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto path_len = GetVarint(payload, pos);
+    if (!path_len || pos + *path_len > payload.size()) {
+      return Status::Corruption("manifest: truncated path");
+    }
+    ChunkRef ref;
+    ref.path.assign(reinterpret_cast<const char*>(payload.data() + pos),
+                    static_cast<std::size_t>(*path_len));
+    pos += static_cast<std::size_t>(*path_len);
+    const auto offset = GetVarint(payload, pos);
+    const auto length = GetVarint(payload, pos);
+    if (!offset || !length || pos + Sha1::kDigestSize > payload.size()) {
+      return Status::Corruption("manifest: truncated ref");
+    }
+    ref.offset = *offset;
+    ref.length = static_cast<std::uint32_t>(*length);
+    std::copy(payload.begin() + pos, payload.begin() + pos + Sha1::kDigestSize,
+              ref.digest.begin());
+    pos += Sha1::kDigestSize;
+    refs.push_back(std::move(ref));
+  }
+  if (pos != payload.size()) return Status::Corruption("manifest: trailing bytes");
+  return refs;
+}
+
+bool ChunkIndex::Contains(const Sha1::Digest& digest) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chunks_.count(digest) > 0;
+}
+
+void ChunkIndex::MarkPresent(const Sha1::Digest& digest, std::uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  chunks_[digest].size = size;
+}
+
+void ChunkIndex::RegisterManifest(std::uint64_t seq,
+                                  const std::vector<ChunkRef>& refs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (manifests_.count(seq) > 0) return;
+  std::set<Sha1::Digest> unique;
+  for (const auto& ref : refs) unique.insert(ref.digest);
+  auto& digests = manifests_[seq];
+  digests.reserve(unique.size());
+  for (const auto& d : unique) {
+    auto& entry = chunks_[d];  // presence is implied by the reference
+    ++entry.refs;
+    digests.push_back(d);
+  }
+}
+
+void ChunkIndex::ReleaseManifest(std::uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = manifests_.find(seq);
+  if (it == manifests_.end()) return;
+  for (const auto& d : it->second) {
+    auto chunk = chunks_.find(d);
+    if (chunk != chunks_.end() && chunk->second.refs > 0) {
+      --chunk->second.refs;
+    }
+  }
+  manifests_.erase(it);
+}
+
+std::vector<ChunkObjectId> ChunkIndex::ZeroRefChunks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ChunkObjectId> out;
+  for (const auto& [digest, entry] : chunks_) {
+    if (entry.refs == 0) out.push_back({digest, entry.size});
+  }
+  return out;
+}
+
+void ChunkIndex::RemoveChunk(const Sha1::Digest& digest) {
+  std::lock_guard<std::mutex> lock(mu_);
+  chunks_.erase(digest);
+}
+
+std::size_t ChunkIndex::ChunkCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chunks_.size();
+}
+
+std::uint64_t ChunkIndex::TotalChunkBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [digest, entry] : chunks_) total += entry.size;
+  return total;
+}
+
+std::uint64_t ChunkIndex::RefCount(const Sha1::Digest& digest) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = chunks_.find(digest);
+  return it == chunks_.end() ? 0 : it->second.refs;
+}
+
+void ChunkIndex::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  chunks_.clear();
+  manifests_.clear();
+}
+
+Status RebuildChunkIndex(ObjectStore& store, const Envelope& envelope,
+                         const std::vector<ObjectMeta>& objects,
+                         ChunkIndex* index) {
+  index->Clear();
+  std::vector<DbObjectId> manifests;
+  for (const auto& meta : objects) {
+    if (auto chunk = ChunkObjectId::Decode(meta.name)) {
+      index->MarkPresent(chunk->digest, chunk->size);
+      continue;
+    }
+    if (auto db = DbObjectId::Decode(meta.name)) {
+      if (db->type == DbObjectType::kManifest) manifests.push_back(*db);
+    }
+  }
+  for (const auto& id : manifests) {
+    auto blob = store.Get(id.Encode());
+    if (!blob.ok()) continue;  // vanished or unreadable: see header comment
+    auto payload = envelope.Decode(View(*blob));
+    if (!payload.ok()) continue;
+    auto refs = DecodeManifest(View(*payload));
+    if (!refs.ok()) continue;
+    index->RegisterManifest(id.seq, *refs);
+  }
+  return Status::Ok();
+}
+
+Result<ChunkAudit> AuditChunks(ObjectStore& store, const Envelope& envelope) {
+  auto objects = store.List("");
+  if (!objects.ok()) return objects.status();
+  ChunkAudit audit;
+  std::set<Sha1::Digest> present;
+  std::vector<DbObjectId> manifests;
+  for (const auto& meta : *objects) {
+    if (auto chunk = ChunkObjectId::Decode(meta.name)) {
+      present.insert(chunk->digest);
+      ++audit.chunks;
+      continue;
+    }
+    if (auto db = DbObjectId::Decode(meta.name)) {
+      if (db->type == DbObjectType::kManifest) manifests.push_back(*db);
+    }
+  }
+  std::set<Sha1::Digest> referenced;
+  for (const auto& id : manifests) {
+    ++audit.manifests;
+    auto blob = store.Get(id.Encode());
+    if (!blob.ok()) return blob.status();
+    auto payload = envelope.Decode(View(*blob));
+    if (!payload.ok()) return payload.status();
+    auto refs = DecodeManifest(View(*payload));
+    if (!refs.ok()) return refs.status();
+    for (const auto& ref : *refs) {
+      referenced.insert(ref.digest);
+      if (present.count(ref.digest) == 0) {
+        audit.missing.push_back(ChunkObjectId{ref.digest, ref.length}.Encode());
+      }
+    }
+  }
+  for (const auto& d : present) {
+    if (referenced.count(d) == 0) {
+      audit.orphans.push_back(ChunkObjectId{d, 0}.Encode());
+    }
+  }
+  return audit;
+}
+
+}  // namespace ginja

@@ -21,6 +21,7 @@ Ginja::Ginja(VfsPtr local_vfs, ObjectStorePtr store,
       config_(config),
       view_(std::make_shared<CloudView>()),
       retention_(std::make_shared<RetentionPolicy>()),
+      chunk_index_(std::make_shared<ChunkIndex>()),
       envelope_(std::make_shared<Envelope>(config.envelope)) {
   // Every Ginja carries an observability bundle: metrics gauges and stage
   // histograms are always reachable via observability(), with the tracer
@@ -43,6 +44,7 @@ Ginja::Ginja(VfsPtr local_vfs, ObjectStorePtr store,
   checkpoints_ = std::make_unique<CheckpointPipeline>(
       store_, view_, clock_, config_, envelope_, local_vfs_, layout_);
   checkpoints_->SetRetentionPolicy(retention_);
+  checkpoints_->SetChunkIndex(chunk_index_);
   checkpoints_->SetWalFrontierFn(
       [this] { return commits_->UploadedWalFrontier(); });
   // Frontier advances wake the checkpointer's WAL-coverage wait directly
@@ -136,6 +138,13 @@ Status Ginja::Reboot() {
   if (!objects.ok()) return objects.status();
   view_->Clear();
   for (const auto& meta : *objects) view_->AddFromName(meta.name);
+  // Delta dumps: the chunk inventory (presence from CHUNK/ names,
+  // references from the visible manifests) must be rebuilt before the
+  // first dump decides what to skip — otherwise everything re-uploads.
+  if (config_.dedup_dumps) {
+    GINJA_RETURN_IF_ERROR(
+        RebuildChunkIndex(*store_, *envelope_, *objects, chunk_index_.get()));
+  }
   checkpoints_->Start();
   commits_->Start();
   started_ = true;

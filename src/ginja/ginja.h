@@ -101,6 +101,9 @@ class Ginja : public FileEventListener {
   }
   const CloudView& cloud_view() const { return *view_; }
   const Envelope& envelope() const { return *envelope_; }
+  // Delta-dump chunk inventory (dedup_dumps); rebuilt from the bucket on
+  // Reboot, populated by the checkpoint pipeline while running.
+  const ChunkIndex& chunk_index() const { return *chunk_index_; }
   std::size_t PendingWrites() const { return commits_->PendingWrites(); }
 
  private:
@@ -112,6 +115,7 @@ class Ginja : public FileEventListener {
 
   std::shared_ptr<CloudView> view_;
   std::shared_ptr<RetentionPolicy> retention_;
+  std::shared_ptr<ChunkIndex> chunk_index_;
   std::shared_ptr<Envelope> envelope_;
   std::shared_ptr<CodecPool> codec_pool_;  // shared by both pipelines
   std::unique_ptr<CommitPipeline> commits_;

@@ -102,7 +102,9 @@ std::optional<TailObjectId> TailObjectId::Decode(std::string_view name) {
 
 std::string DbObjectId::Encode() const {
   return "DB/" + std::to_string(ts) + "_" +
-         std::string(type == DbObjectType::kDump ? "dump" : "checkpoint") +
+         std::string(type == DbObjectType::kDump       ? "dump"
+                     : type == DbObjectType::kManifest ? "manifest"
+                                                       : "checkpoint") +
          "_" + std::to_string(size) + "_s" + std::to_string(seq) + "_l" +
          std::to_string(redo_lsn) + "_p" + std::to_string(part) + "of" +
          std::to_string(total_parts);
@@ -155,6 +157,8 @@ std::optional<DbObjectId> DbObjectId::Decode(std::string_view name) {
     out.type = DbObjectType::kDump;
   } else if (type == "checkpoint") {
     out.type = DbObjectType::kCheckpoint;
+  } else if (type == "manifest") {
+    out.type = DbObjectType::kManifest;
   } else {
     return std::nullopt;
   }

@@ -63,7 +63,12 @@ struct TailObjectId {
   static std::optional<TailObjectId> Decode(std::string_view name);
 };
 
-enum class DbObjectType { kDump, kCheckpoint };
+// kManifest is the delta-dump form of kDump (see ginja/dedup.h): a
+// single-part DB object whose payload lists CHUNK/ references instead of
+// file contents. Its `size` field carries the *logical* database bytes the
+// manifest covers, so the 150% dump rule's TotalDbBytes sum keeps its
+// meaning regardless of representation.
+enum class DbObjectType { kDump, kCheckpoint, kManifest };
 
 struct DbObjectId {
   std::uint64_t ts = 0;  // last WAL-object ts before the checkpoint began

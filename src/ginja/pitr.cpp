@@ -41,11 +41,16 @@ std::set<std::string> RetentionPolicy::KeepSet(
   for (const auto& db : db_objects) by_seq[db.seq].push_back(db);
 
   for (const std::uint64_t point : points) {
-    // (1) The most recent dump with ts <= point.
+    // (1) The most recent dump with ts <= point. A delta-dump manifest
+    // (dedup_dumps) IS the dump: keeping it keeps its chunk references,
+    // which is what exempts the chunks from the refcount GC's second wave.
     const std::vector<DbObjectId>* dump = nullptr;
     for (const auto& [seq, parts] : by_seq) {
       if (parts.empty() || parts[0].ts > point) continue;
-      if (parts[0].type == DbObjectType::kDump) dump = &parts;
+      if (parts[0].type == DbObjectType::kDump ||
+          parts[0].type == DbObjectType::kManifest) {
+        dump = &parts;
+      }
     }
     std::uint64_t dump_seq = 0;
     std::uint64_t last_redo_lsn = 0;

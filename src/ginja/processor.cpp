@@ -108,7 +108,13 @@ void DbIoProcessor::OnControlWrite(const FileEvent& event) {
 }
 
 void DbIoProcessor::OnFileEvent(const FileEvent& event) {
-  if (event.kind != FileEvent::Kind::kWrite) return;  // GC handles removals
+  if (event.kind != FileEvent::Kind::kWrite) {
+    // GC handles removals; but a removal or truncation shrinks the local
+    // database, so the cached 150%-rule size must be re-walked. (Writes
+    // keep the cache exact incrementally — see AddWrite.)
+    checkpoints_->InvalidateLocalDbSizeCache();
+    return;
+  }
   switch (layout_.Classify(event.path, event.offset)) {
     case FileKind::kWalSegment:
       OnWalWrite(event);

@@ -21,6 +21,8 @@ void MergeReport(RecoveryReport* into, const RecoveryReport& r) {
   into->tail_segments_applied += r.tail_segments_applied;
   into->db_objects_applied += r.db_objects_applied;
   into->files_written += r.files_written;
+  into->chunks_downloaded += r.chunks_downloaded;
+  into->chunks_reused += r.chunks_reused;
   into->recovered_to_ts = std::max(into->recovered_to_ts, r.recovered_to_ts);
   into->found_dump = into->found_dump || r.found_dump;
 }
@@ -323,6 +325,14 @@ Status StandbyReplica::Rebuild(bool bootstrap) {
 
   auto fresh = std::make_shared<MemFs>();
   TailApplyContext ctx = MakeContext(fresh, plan.items.size());
+  // Warm resync against delta dumps: the outgoing image donates chunks
+  // whose bytes still hash to the manifest's digest, so only the chunks
+  // that actually changed are downloaded. Bootstrap passes an empty image
+  // (nothing matches — a plain full recovery).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ctx.chunk_source = image_;
+  }
   RecoveryReport r;
   TailApplyResult applied = ApplyTailPlan(plan.items, ctx, &r);
   if (!applied.db_failure.ok()) return applied.db_failure;

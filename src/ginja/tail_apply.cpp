@@ -4,6 +4,8 @@
 #include <deque>
 #include <future>
 
+#include "common/codec/sha1.h"
+#include "ginja/dedup.h"
 #include "ginja/payload.h"
 
 namespace ginja {
@@ -39,10 +41,16 @@ TailPlan BuildTailPlan(const std::vector<ObjectMeta>& objects,
             [](const WalObjectId& a, const WalObjectId& b) { return a.ts < b.ts; });
   if (!wal_objects.empty()) plan.newest_wal_ts = wal_objects.back().ts;
 
-  // 1. Most recent *complete* dump (all parts present) — Alg. 1 lines 27–29.
+  // 1. Most recent *complete* dump (all parts present) — Alg. 1 lines
+  // 27–29. A delta-dump manifest is a single-part dump: "all parts
+  // present" degenerates to "the manifest is visible", and chunk
+  // durability is implied (the manifest is PUT strictly after its chunks).
   std::optional<std::uint64_t> dump_seq;
   for (const auto& [seq, parts] : db_by_seq) {
-    if (parts.empty() || parts[0].type != DbObjectType::kDump) continue;
+    if (parts.empty() || (parts[0].type != DbObjectType::kDump &&
+                          parts[0].type != DbObjectType::kManifest)) {
+      continue;
+    }
     if (parts.size() == parts[0].total_parts) dump_seq = seq;
   }
   // Highest WAL ts folded into a planned DB object: GC may have deleted
@@ -54,7 +62,8 @@ TailPlan BuildTailPlan(const std::vector<ObjectMeta>& objects,
               [](const DbObjectId& a, const DbObjectId& b) { return a.part < b.part; });
     for (const auto& id : parts) {
       plan.items.push_back({id.Encode(), /*is_wal=*/false, /*is_tail=*/false,
-                            0, {}});
+                            0, {},
+                            /*is_manifest=*/id.type == DbObjectType::kManifest});
       plan.last_redo_lsn = std::max(plan.last_redo_lsn, id.redo_lsn);
       folded_through_ts =
           std::max(folded_through_ts.value_or(0), id.ts);
@@ -229,6 +238,66 @@ TailApplyResult ApplyTailPlan(const std::vector<TailPlanItem>& plan,
     return Status::Ok();
   };
 
+  // A delta-dump manifest expands into chunk fetches: every ref is first
+  // offered to ctx.chunk_source (hash-verified local reuse — the warm
+  // standby's previous image), and the rest GET with the same K-deep
+  // window, verified against their content digest before being written.
+  // Any chunk failure fails the manifest, exactly like a missing dump part.
+  auto apply_manifest = [&](Result<Bytes> blob) -> Status {
+    if (!blob.ok()) return blob.status();
+    ++r->objects_downloaded;
+    r->bytes_downloaded += blob->size();
+    auto payload = ctx.envelope->Decode(View(*blob));
+    if (!payload.ok()) return payload.status();
+    auto refs = DecodeManifest(View(*payload));
+    if (!refs.ok()) return refs.status();
+
+    std::vector<std::size_t> to_fetch;
+    for (std::size_t k = 0; k < refs->size(); ++k) {
+      const ChunkRef& ref = (*refs)[k];
+      if (ctx.chunk_source != nullptr) {
+        auto local = ctx.chunk_source->Read(ref.path, ref.offset, ref.length);
+        if (local.ok() && local->size() == ref.length &&
+            Sha1::Hash(View(*local)) == ref.digest) {
+          GINJA_RETURN_IF_ERROR(ctx.target->Write(ref.path, ref.offset,
+                                                  View(*local),
+                                                  /*sync=*/false));
+          ++r->files_written;
+          ++r->chunks_reused;
+          continue;
+        }
+      }
+      to_fetch.push_back(k);
+    }
+
+    std::deque<std::future<Result<Bytes>>> chunk_inflight;
+    std::size_t chunk_issue = 0;
+    for (std::size_t k = 0; k < to_fetch.size(); ++k) {
+      while (chunk_issue < to_fetch.size() && chunk_inflight.size() < window) {
+        const ChunkRef& f = (*refs)[to_fetch[chunk_issue++]];
+        chunk_inflight.push_back(transfers.GetAsync(
+            ctx.route, ChunkObjectId{f.digest, f.length}.Encode()));
+      }
+      const ChunkRef& ref = (*refs)[to_fetch[k]];
+      Result<Bytes> fetched_chunk = chunk_inflight.front().get();
+      chunk_inflight.pop_front();
+      if (!fetched_chunk.ok()) return fetched_chunk.status();
+      ++r->objects_downloaded;
+      r->bytes_downloaded += fetched_chunk->size();
+      auto chunk = ctx.envelope->Decode(View(*fetched_chunk));
+      if (!chunk.ok()) return chunk.status();
+      if (chunk->size() != ref.length ||
+          Sha1::Hash(View(*chunk)) != ref.digest) {
+        return Status::Corruption("chunk bytes do not match the manifest digest");
+      }
+      GINJA_RETURN_IF_ERROR(ctx.target->Write(ref.path, ref.offset,
+                                              View(*chunk), /*sync=*/false));
+      ++r->files_written;
+      ++r->chunks_downloaded;
+    }
+    return Status::Ok();
+  };
+
   for (std::size_t i = 0; i < plan.size(); ++i) {
     while (next_issue < plan.size() && inflight.size() < window) {
       if (tracing) issue_times.push_back(ctx.clock->NowMicros());
@@ -248,7 +317,8 @@ TailApplyResult ApplyTailPlan(const std::vector<TailPlanItem>& plan,
       ctx.tracer->Record(ctx.fetch_stage, ctx.trace_id_base + i, issued,
                          t_fetched >= issued ? t_fetched - issued : 0);
     }
-    Status st = apply_blob(std::move(fetched));
+    Status st = plan[i].is_manifest ? apply_manifest(std::move(fetched))
+                                    : apply_blob(std::move(fetched));
     if (!st.ok() && !plan[i].fallbacks.empty()) {
       // Replica tails hold byte-identical segments; any one of them will do.
       for (const auto& alt : plan[i].fallbacks) {

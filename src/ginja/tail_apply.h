@@ -42,6 +42,10 @@ struct RecoveryReport {
   std::uint64_t tail_segments_applied = 0;
   std::uint64_t db_objects_applied = 0;
   std::uint64_t files_written = 0;
+  // Delta-dump manifests (ginja/dedup.h): chunks fetched from the cloud vs
+  // chunks satisfied from ctx.chunk_source by local hash verification.
+  std::uint64_t chunks_downloaded = 0;
+  std::uint64_t chunks_reused = 0;
   std::uint64_t recovered_to_ts = 0;    // highest WAL-object ts applied
   bool found_dump = false;
   bool gap_detected = false;            // WAL tail truncated at a ts gap
@@ -57,6 +61,9 @@ struct TailPlanItem {
   // Replica tails holding the same segment bytes, tried in order when
   // the primary fails; empty for everything else.
   std::vector<std::string> fallbacks;
+  // Delta-dump manifest: the payload lists CHUNK/ references which the
+  // apply loop expands into windowed chunk fetches.
+  bool is_manifest = false;
 };
 
 struct TailPlan {
@@ -118,6 +125,11 @@ struct TailApplyContext {
   TraceStage fetch_stage = TraceStage::kRecoveryFetch;
   TraceStage apply_stage = TraceStage::kRecoveryApply;
   std::uint64_t trace_id_base = 0;      // plan index offset for span ids
+  // Optional local chunk donor for delta-dump manifests: a ref whose
+  // (path, offset, length) bytes here hash to the ref's digest is copied
+  // locally instead of fetched — the warm standby passes its previous
+  // image so a resync downloads only the chunks that actually changed.
+  VfsPtr chunk_source;
 };
 
 struct TailApplyResult {

@@ -45,6 +45,7 @@ const char* TraceStageName(TraceStage stage) {
     case TraceStage::kTailPut: return "tail_put";
     case TraceStage::kTailFetch: return "tail_fetch";
     case TraceStage::kTailApply: return "tail_apply";
+    case TraceStage::kChunkHash: return "chunk_hash";
   }
   return "?";
 }

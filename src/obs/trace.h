@@ -53,8 +53,9 @@ enum class TraceStage : std::uint8_t {
   kTailPut,          // segment sealed → replica-0 tail object durable
   kTailFetch,        // standby tail object: GET issued → blob consumed
   kTailApply,        // standby tail object: decode + apply into the image
+  kChunkHash,        // delta dump: image chunked + SHA-1 hashed (per dump)
 };
-inline constexpr int kTraceStageCount = 16;
+inline constexpr int kTraceStageCount = 17;
 
 const char* TraceStageName(TraceStage stage);
 

@@ -162,5 +162,27 @@ TEST(VmBaseline, Table2Baselines) {
   EXPECT_DOUBLE_EQ(VmBaseline::M3MediumBare().monthly_cost, 48.24);
 }
 
+TEST(DumpCost, DeltaDumpScalesWithChurnNotDbSize) {
+  const auto prices = PriceBook::AmazonS3May2017();
+  const double chunk = 256.0 * 1024.0;
+  const auto mono = MonolithicDumpCost(10.0, 20.0, prices);
+  const auto delta = DeltaDumpCost(10.0, 0.10, chunk, prices);
+  // 10% churn re-uploads ~10% of the bytes (plus ~44 B/chunk of manifest).
+  EXPECT_NEAR(delta.bytes_uploaded / mono.bytes_uploaded, 0.10, 0.01);
+  // Full churn converges on the monolithic bytes plus the manifest.
+  const auto worst = DeltaDumpCost(10.0, 1.0, chunk, prices);
+  EXPECT_GE(worst.bytes_uploaded, mono.bytes_uploaded);
+  EXPECT_LT(worst.bytes_uploaded, mono.bytes_uploaded * 1.001);
+  // The request-count trade: many small chunk PUTs vs few large parts.
+  // At 10% churn a 10 GB DB needs ceil(40960 * 0.1) + 1 manifest PUTs.
+  EXPECT_DOUBLE_EQ(delta.put_requests, 4097.0);
+  EXPECT_DOUBLE_EQ(mono.put_requests, 512.0);
+  EXPECT_DOUBLE_EQ(delta.dollars, delta.put_requests * prices.per_put);
+  // Even with the extra PUTs, the re-dump is cheaper in requests than
+  // re-uploading everything once churn is low enough relative to the
+  // chunk/object size ratio; the bytes saving is the headline either way.
+  EXPECT_LT(delta.bytes_uploaded, 0.11 * mono.bytes_uploaded);
+}
+
 }  // namespace
 }  // namespace ginja
