@@ -38,11 +38,44 @@ Bytes Envelope::Encode(ByteView payload, std::uint64_t nonce) const {
 
 void Envelope::EncodeInto(const PayloadView& payload, std::uint64_t nonce,
                           Bytes& out) const {
+  EncodeIntoWith(payload, nonce, enc_aes_, out);
+}
+
+void Envelope::EncodeIntoWith(const PayloadView& payload, std::uint64_t nonce,
+                              const Aes128& aes, Bytes& out) const {
   if (payload.size() > options_.parallel_encode_threshold) {
-    EncodeV2Into(payload, nonce, out);
+    EncodeV2Into(payload, nonce, aes, out);
   } else {
-    EncodeV1Into(payload, nonce, out);
+    EncodeV1Into(payload, nonce, aes, out);
   }
+}
+
+Aes128 Envelope::DeriveObjectAes(ByteView key_tweak) const {
+  const MacTag prf =
+      HmacSha1(ByteView(enc_key_.data(), enc_key_.size()), key_tweak);
+  Aes128::Key key;
+  std::memcpy(key.data(), prf.data(), key.size());
+  return Aes128(key);
+}
+
+Bytes Envelope::EncodeDerived(ByteView payload, std::uint64_t nonce,
+                              ByteView key_tweak) const {
+  if (!options_.encrypt) return Encode(payload, nonce);
+  Bytes out;
+  EncodeIntoWith(OnePiece(payload), nonce, DeriveObjectAes(key_tweak), out);
+  return out;
+}
+
+Result<Bytes> Envelope::DecodeDerived(ByteView enveloped,
+                                      ByteView key_tweak) const {
+  if (!options_.encrypt) return Decode(enveloped);
+  if (enveloped.size() >= kStreamPrologueSize &&
+      GetU32(enveloped.data()) == kMagicV3) {
+    // Chunks are never stream containers; recursing with a derived key
+    // would mix key domains across segments.
+    return Status::Corruption("derived-key object cannot be a v3 stream");
+  }
+  return DecodeWith(enveloped, DeriveObjectAes(key_tweak));
 }
 
 ByteView Envelope::GatherRange(const PayloadView& payload, std::size_t begin,
@@ -98,7 +131,7 @@ void Envelope::SealHeader(std::uint32_t magic, std::uint8_t flags,
 }
 
 void Envelope::EncodeV1Into(const PayloadView& payload, std::uint64_t nonce,
-                            Bytes& out) const {
+                            const Aes128& aes, Bytes& out) const {
   out.clear();
   out.reserve(kHeaderSize + payload.size() + 16);
   out.resize(kHeaderSize);  // header patched last, once the body is final
@@ -123,8 +156,7 @@ void Envelope::EncodeV1Into(const PayloadView& payload, std::uint64_t nonce,
 
   if (options_.encrypt) {
     stats_.bytes_encrypted.Add(out.size() - kHeaderSize);
-    enc_aes_.CtrInPlace(out.data() + kHeaderSize, out.size() - kHeaderSize,
-                        nonce);
+    aes.CtrInPlace(out.data() + kHeaderSize, out.size() - kHeaderSize, nonce);
     flags |= kFlagEncrypted;
   }
 
@@ -132,7 +164,7 @@ void Envelope::EncodeV1Into(const PayloadView& payload, std::uint64_t nonce,
 }
 
 void Envelope::EncodeV2Into(const PayloadView& payload, std::uint64_t nonce,
-                            Bytes& out) const {
+                            const Aes128& aes, Bytes& out) const {
   const std::size_t chunk_bytes = options_.encode_chunk_bytes;
   const std::size_t total = payload.size();
   const std::size_t nchunks = (total + chunk_bytes - 1) / chunk_bytes;
@@ -172,8 +204,8 @@ void Envelope::EncodeV2Into(const PayloadView& payload, std::uint64_t nonce,
 
     const std::size_t enc_len = dst.size() - body_pos;
     if (options_.encrypt) {
-      enc_aes_.CtrInPlace(dst.data() + body_pos, enc_len, nonce,
-                          static_cast<std::uint64_t>(i) * blocks_per_chunk);
+      aes.CtrInPlace(dst.data() + body_pos, enc_len, nonce,
+                     static_cast<std::uint64_t>(i) * blocks_per_chunk);
     }
     return static_cast<std::uint32_t>((enc_len << 1) |
                                       (compressed ? 1u : 0u));
@@ -229,6 +261,11 @@ Result<Bytes> Envelope::Decode(ByteView enveloped) const {
       GetU32(enveloped.data()) == kMagicV3) {
     return DecodeV3(enveloped);
   }
+  return DecodeWith(enveloped, enc_aes_);
+}
+
+Result<Bytes> Envelope::DecodeWith(ByteView enveloped,
+                                   const Aes128& aes) const {
   if (enveloped.size() < kHeaderSize) {
     return Status::Corruption("envelope shorter than header");
   }
@@ -250,8 +287,8 @@ Result<Bytes> Envelope::Decode(ByteView enveloped) const {
     return Status::Corruption("object MAC mismatch");
   }
 
-  return magic == kMagicV1 ? DecodeV1(flags, nonce, body)
-                           : DecodeV2(flags, nonce, body);
+  return magic == kMagicV1 ? DecodeV1(flags, nonce, aes, body)
+                           : DecodeV2(flags, nonce, aes, body);
 }
 
 Result<Bytes> Envelope::DecodeV3(ByteView enveloped) const {
@@ -279,12 +316,12 @@ Result<Bytes> Envelope::DecodeV3(ByteView enveloped) const {
 }
 
 Result<Bytes> Envelope::DecodeV1(std::uint8_t flags, std::uint64_t nonce,
-                                 ByteView body) const {
+                                 const Aes128& aes, ByteView body) const {
   Bytes work;
   if (flags & kFlagEncrypted) {
     work.assign(body.begin(), body.end());
     stats_.bytes_encrypted.Add(work.size());
-    enc_aes_.CtrInPlace(work.data(), work.size(), nonce);  // decrypt in place
+    aes.CtrInPlace(work.data(), work.size(), nonce);  // decrypt in place
     body = View(work);
   }
   if (flags & kFlagCompressed) {
@@ -298,7 +335,7 @@ Result<Bytes> Envelope::DecodeV1(std::uint8_t flags, std::uint64_t nonce,
 }
 
 Result<Bytes> Envelope::DecodeV2(std::uint8_t flags, std::uint64_t nonce,
-                                 ByteView body) const {
+                                 const Aes128& aes, ByteView body) const {
   std::size_t pos = 0;
   const auto total = GetVarint(body, pos);
   const auto chunk_bytes = GetVarint(body, pos);
@@ -332,8 +369,8 @@ Result<Bytes> Envelope::DecodeV2(std::uint8_t flags, std::uint64_t nonce,
       std::uint8_t* chunk_data = work.data() + wpos;
       if (flags & kFlagEncrypted) {
         stats_.bytes_encrypted.Add(enc_len);
-        enc_aes_.CtrInPlace(chunk_data, enc_len, nonce,
-                            static_cast<std::uint64_t>(chunk) * blocks_per_chunk);
+        aes.CtrInPlace(chunk_data, enc_len, nonce,
+                       static_cast<std::uint64_t>(chunk) * blocks_per_chunk);
       }
       const std::size_t before = out.size();
       if (compressed) {
@@ -401,8 +438,8 @@ Result<Bytes> Envelope::DecodeV2(std::uint8_t flags, std::uint64_t nonce,
         std::min<std::size_t>(*chunk_bytes, *total - begin);
     std::uint8_t* chunk_data = work.data() + c.body_off;
     if (flags & kFlagEncrypted) {
-      enc_aes_.CtrInPlace(chunk_data, c.enc_len, nonce,
-                          static_cast<std::uint64_t>(i) * blocks_per_chunk);
+      aes.CtrInPlace(chunk_data, c.enc_len, nonce,
+                     static_cast<std::uint64_t>(i) * blocks_per_chunk);
     }
     if (c.compressed) {
       Bytes plain;

@@ -107,6 +107,23 @@ class Envelope {
   void EncodeInto(const PayloadView& payload, std::uint64_t nonce,
                   Bytes& out) const;
 
+  // Derived-key variants for content-addressed objects (delta-dump
+  // chunks). The AES key is derived per object — HMAC-SHA1(master enc
+  // key, key_tweak) truncated to 16 bytes — so keystream is reused across
+  // two objects only if their *entire* tweak collides. Ginja passes the
+  // chunk's full 160-bit content digest, which removes the two-time-pad
+  // risk of a truncated-nonce collision while keeping the encoding
+  // deterministic in (payload, tweak, nonce): identical chunks still
+  // produce identical ciphertext, so convergent dedup keeps working. The
+  // MAC key and wire format are unchanged. Decoding with a wrong tweak
+  // MAC-verifies but yields wrong bytes (or Corruption when compressed) —
+  // content-addressed callers must verify the decoded bytes' digest,
+  // which the chunk fetch path already does. When encryption is off these
+  // are exactly Encode/Decode.
+  Bytes EncodeDerived(ByteView payload, std::uint64_t nonce,
+                      ByteView key_tweak) const;
+  Result<Bytes> DecodeDerived(ByteView enveloped, ByteView key_tweak) const;
+
   // Verifies the MAC and reverses compression/encryption. Accepts all
   // three wire versions (v3 decodes each segment recursively and
   // concatenates the payloads).
@@ -132,19 +149,29 @@ class Envelope {
   ByteView GatherRange(const PayloadView& payload, std::size_t begin,
                        std::size_t len, Bytes& scratch) const;
 
+  // Expands the per-object AES schedule for a derived-key encode/decode
+  // (HMAC-SHA1(enc_key_, key_tweak) truncated to the AES key size).
+  Aes128 DeriveObjectAes(ByteView key_tweak) const;
+
+  // The encode/decode cores, parameterized on the AES schedule so the
+  // derived-key entry points share every byte of the format logic.
+  void EncodeIntoWith(const PayloadView& payload, std::uint64_t nonce,
+                      const Aes128& aes, Bytes& out) const;
+  Result<Bytes> DecodeWith(ByteView enveloped, const Aes128& aes) const;
+
   void EncodeV1Into(const PayloadView& payload, std::uint64_t nonce,
-                    Bytes& out) const;
+                    const Aes128& aes, Bytes& out) const;
   void EncodeV2Into(const PayloadView& payload, std::uint64_t nonce,
-                    Bytes& out) const;
+                    const Aes128& aes, Bytes& out) const;
   // Writes the 33-byte header over out[0..kHeaderSize): magic, flags,
   // nonce, and the MAC of out[kHeaderSize..].
   void SealHeader(std::uint32_t magic, std::uint8_t flags, std::uint64_t nonce,
                   Bytes& out) const;
 
   Result<Bytes> DecodeV1(std::uint8_t flags, std::uint64_t nonce,
-                         ByteView body) const;
+                         const Aes128& aes, ByteView body) const;
   Result<Bytes> DecodeV2(std::uint8_t flags, std::uint64_t nonce,
-                         ByteView body) const;
+                         const Aes128& aes, ByteView body) const;
   Result<Bytes> DecodeV3(ByteView enveloped) const;
 
   EnvelopeOptions options_;

@@ -512,9 +512,14 @@ void CheckpointPipeline::ProcessDeltaDump(const DbObjectJob& job) {
     const ByteView slice = View(entry.data)
         .subspan(static_cast<std::size_t>(ref.offset - entry.offset),
                  ref.length);
-    // Convergent nonce: identical plaintext chunks envelope to identical
-    // ciphertext, so CHUNK/ names stay deduplicable under encryption.
-    Bytes enveloped = envelope_->Encode(slice, ChunkNonce(ref.digest));
+    // Convergent derived-key envelope: key and nonce depend only on the
+    // content digest, so identical plaintext chunks envelope to identical
+    // ciphertext (deduplicable CHUNK/ names) while the per-chunk AES key
+    // — derived from the full 160-bit digest — keeps a truncated-nonce
+    // collision from ever reusing keystream across distinct chunks.
+    Bytes enveloped = envelope_->EncodeDerived(
+        slice, ChunkNonce(ref.digest),
+        ByteView(ref.digest.data(), ref.digest.size()));
     const std::size_t enveloped_size = enveloped.size();
     while (inflight.size() >= window && all_uploaded) reap_one();
     if (!all_uploaded) break;
@@ -567,6 +572,16 @@ void CheckpointPipeline::ProcessDeltaDump(const DbObjectJob& job) {
       Log(LogLevel::kWarn, "checkpoint", "manifest upload failed",
           {{"seq", seq}, {"status", st.ToString()}});
     }
+    // The PUT ack may have been lost after the object landed. A one-part
+    // manifest has no multi-part invisibility, so such a ghost would be
+    // visible to recovery while unknown to the ChunkIndex — a later dump's
+    // zero-ref sweep could then delete chunks only the ghost references,
+    // leaving a visible-but-broken dump. Confirm its absence with a
+    // DELETE; if even that fails, assume the worst and pin its chunks
+    // until a reboot rebuild reconciles against the bucket.
+    const Status confirmed_absent =
+        transfer_->DeleteAll(Route(), {id.Encode()}).front();
+    if (!confirmed_absent.ok()) chunk_index_->RegisterManifest(seq, refs);
     return;
   }
   stats_.db_objects_uploaded.Add();

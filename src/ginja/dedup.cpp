@@ -1,9 +1,11 @@
 #include "ginja/dedup.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/codec/codec_pool.h"
 #include "ginja/object_id.h"
+#include "obs/log.h"
 
 namespace ginja {
 
@@ -11,6 +13,10 @@ namespace {
 
 constexpr std::uint32_t kManifestMagic = 0x31464D47;  // "GMF1" little-endian
 constexpr std::size_t kHexDigestLen = Sha1::kDigestSize * 2;
+// Sanity bound on a manifest ref's path: generous for any real database
+// file name, small enough that a corrupt length can't drive a huge
+// allocation before the trailing-bytes check would catch it.
+constexpr std::uint64_t kMaxManifestPathLen = 4096;
 
 }  // namespace
 
@@ -42,10 +48,11 @@ std::optional<ChunkObjectId> ChunkObjectId::Decode(std::string_view name) {
 std::uint64_t ChunkNonce(const Sha1::Digest& digest) {
   // Top byte 0x51 tags the chunk subspace; the remaining 56 bits come from
   // the digest prefix, so identical content yields an identical nonce
-  // (convergent encryption) while distinct content collides only at the
-  // 2^28 birthday bound — far beyond any realistic chunk population, and a
-  // collision would only reuse keystream across two *different* chunks of
-  // page-image data, not break the MAC.
+  // (convergent encryption). Distinct chunks collide on this truncation at
+  // the ~2^28 birthday bound, which would be a real two-time pad under a
+  // shared key at fleet scale — chunks therefore also encrypt under a
+  // per-chunk AES key derived from the *full* digest (the EncodeDerived
+  // tweak), so a nonce collision reuses no keystream.
   std::uint64_t v = 0x51ull << 56;
   for (int i = 0; i < 7; ++i) {
     v |= static_cast<std::uint64_t>(digest[i]) << (8 * (6 - i));
@@ -110,7 +117,12 @@ Result<std::vector<ChunkRef>> DecodeManifest(ByteView payload) {
   refs.reserve(static_cast<std::size_t>(*count));
   for (std::uint64_t i = 0; i < *count; ++i) {
     const auto path_len = GetVarint(payload, pos);
-    if (!path_len || pos + *path_len > payload.size()) {
+    // Overflow-safe bound: pos <= payload.size() after a successful
+    // GetVarint, so the subtraction cannot wrap, whereas `pos + *path_len`
+    // could for a crafted 64-bit length — letting the check pass and the
+    // assign below read far out of bounds.
+    if (!path_len || *path_len > kMaxManifestPathLen ||
+        *path_len > payload.size() - pos) {
       return Status::Corruption("manifest: truncated path");
     }
     ChunkRef ref;
@@ -119,7 +131,9 @@ Result<std::vector<ChunkRef>> DecodeManifest(ByteView payload) {
     pos += static_cast<std::size_t>(*path_len);
     const auto offset = GetVarint(payload, pos);
     const auto length = GetVarint(payload, pos);
-    if (!offset || !length || pos + Sha1::kDigestSize > payload.size()) {
+    if (!offset || !length ||
+        *length > std::numeric_limits<std::uint32_t>::max() ||
+        Sha1::kDigestSize > payload.size() - pos) {
       return Status::Corruption("manifest: truncated ref");
     }
     ref.offset = *offset;
@@ -173,11 +187,24 @@ void ChunkIndex::ReleaseManifest(std::uint64_t seq) {
 
 std::vector<ChunkObjectId> ChunkIndex::ZeroRefChunks() const {
   std::lock_guard<std::mutex> lock(mu_);
+  // Quarantined: some visible manifest's references are unknown, so no
+  // chunk can be proven unreferenced (header comment).
+  if (quarantined_) return {};
   std::vector<ChunkObjectId> out;
   for (const auto& [digest, entry] : chunks_) {
     if (entry.refs == 0) out.push_back({digest, entry.size});
   }
   return out;
+}
+
+void ChunkIndex::SetQuarantined() {
+  std::lock_guard<std::mutex> lock(mu_);
+  quarantined_ = true;
+}
+
+bool ChunkIndex::quarantined() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_;
 }
 
 void ChunkIndex::RemoveChunk(const Sha1::Digest& digest) {
@@ -205,6 +232,7 @@ std::uint64_t ChunkIndex::RefCount(const Sha1::Digest& digest) const {
 
 void ChunkIndex::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  quarantined_ = false;
   chunks_.clear();
   manifests_.clear();
 }
@@ -225,11 +253,31 @@ Status RebuildChunkIndex(ObjectStore& store, const Envelope& envelope,
   }
   for (const auto& id : manifests) {
     auto blob = store.Get(id.Encode());
-    if (!blob.ok()) continue;  // vanished or unreadable: see header comment
+    if (!blob.ok()) {
+      // Vanished between LIST and GET: really gone, nothing to register.
+      if (blob.status().code() == ErrorCode::kNotFound) continue;
+      // Possibly transient (outage, throttling): fail the rebuild. If the
+      // manifest were treated as absent, its chunks would rebuild at
+      // refcount zero and — because the manifest itself stays visible and
+      // may be the newest dump — the next zero-ref sweep would delete
+      // chunks recovery still needs. See header comment.
+      return blob.status();
+    }
     auto payload = envelope.Decode(View(*blob));
-    if (!payload.ok()) continue;
-    auto refs = DecodeManifest(View(*payload));
-    if (!refs.ok()) continue;
+    auto refs = payload.ok()
+                    ? DecodeManifest(View(*payload))
+                    : Result<std::vector<ChunkRef>>(payload.status());
+    if (!refs.ok()) {
+      // Genuinely corrupt (the envelope MAC rules out a bad fetch):
+      // recovery would reject this manifest too, so the reboot proceeds —
+      // but with the zero-ref sweep quarantined, since the corrupt
+      // manifest's references are unknowable (header comment).
+      Log(LogLevel::kWarn, "dedup",
+          "corrupt manifest: chunk GC quarantined",
+          {{"name", id.Encode()}, {"status", refs.status().ToString()}});
+      index->SetQuarantined();
+      continue;
+    }
     index->RegisterManifest(id.seq, *refs);
   }
   return Status::Ok();
@@ -239,11 +287,11 @@ Result<ChunkAudit> AuditChunks(ObjectStore& store, const Envelope& envelope) {
   auto objects = store.List("");
   if (!objects.ok()) return objects.status();
   ChunkAudit audit;
-  std::set<Sha1::Digest> present;
+  std::map<Sha1::Digest, std::uint64_t> present;  // digest -> named size
   std::vector<DbObjectId> manifests;
   for (const auto& meta : *objects) {
     if (auto chunk = ChunkObjectId::Decode(meta.name)) {
-      present.insert(chunk->digest);
+      present[chunk->digest] = chunk->size;
       ++audit.chunks;
       continue;
     }
@@ -267,9 +315,12 @@ Result<ChunkAudit> AuditChunks(ObjectStore& store, const Envelope& envelope) {
       }
     }
   }
-  for (const auto& d : present) {
+  // Report orphans under their *actual* object names — the size suffix is
+  // part of the name, so a report built with a dummy size would name
+  // objects that do not exist and could not be GET/DELETEd.
+  for (const auto& [d, size] : present) {
     if (referenced.count(d) == 0) {
-      audit.orphans.push_back(ChunkObjectId{d, 0}.Encode());
+      audit.orphans.push_back(ChunkObjectId{d, size}.Encode());
     }
   }
   return audit;

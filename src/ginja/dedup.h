@@ -21,13 +21,18 @@
 // recovery only trusts manifests, and a manifest is only visible once all
 // of its chunks are durable.
 //
-// Convergent encryption: a chunk's envelope nonce is derived from its
-// content digest (ChunkNonce), so identical plaintext chunks produce
-// identical ciphertext and dedup works across encrypted uploads. The usual
-// caveat applies — an observer of the bucket can confirm a *guessed*
-// plaintext chunk by hash equality; acceptable for database page images
-// under a secret per-deployment key, and exactly the trade every
-// content-addressed encrypted store makes.
+// Convergent encryption: a chunk's envelope AES key is derived from its
+// *full* 160-bit content digest (Envelope::EncodeDerived) and its nonce
+// from the digest prefix (ChunkNonce), so identical plaintext chunks
+// produce identical ciphertext and dedup works across encrypted uploads.
+// Deriving the key from the whole digest matters: a truncated-nonce
+// collision alone (the ~2^28 birthday bound on ChunkNonce's 56 digest
+// bits) reuses no keystream, because the colliding chunks encrypt under
+// different keys — breaking confidentiality requires a full SHA-1
+// collision. The usual convergent caveat still applies — an observer of
+// the bucket can confirm a *guessed* plaintext chunk by hash equality;
+// acceptable for database page images under a secret per-deployment key,
+// and exactly the trade every content-addressed encrypted store makes.
 //
 // The ChunkIndex is the cloud-side chunk inventory plus manifest→chunk
 // refcounts. GC invariant ordering (see CheckpointPipeline::GarbageCollect):
@@ -80,7 +85,10 @@ struct ChunkObjectId {
 // (convergent encryption; header comment). Tagged with top byte 0x51 —
 // bit 63 clear — which is disjoint from every other nonce subspace: WAL
 // objects use their (small) ts, DB parts (1<<63)|(seq<<16)|part, stream
-// segments 0xE5<<56, and the failover meta space 0xF0F0<<48.
+// segments 0xE5<<56, and the failover meta space 0xF0F0<<48. Nonce
+// collisions between distinct chunks are harmless because each chunk also
+// gets its own derived AES key (header comment); the nonce only needs to
+// keep the *shared-key* subspaces apart.
 std::uint64_t ChunkNonce(const Sha1::Digest& digest);
 
 // Splits dump entries into `chunk_bytes`-sized pieces on boundaries
@@ -124,6 +132,14 @@ class ChunkIndex {
   // Forgets a chunk whose cloud DELETE was confirmed.
   void RemoveChunk(const Sha1::Digest& digest);
 
+  // A visible manifest could not be decoded during a rebuild, so its chunk
+  // references are unknowable. While quarantined, ZeroRefChunks() returns
+  // empty — the zero-ref sweep must not run against an index that may be
+  // missing references held by a still-visible manifest. Cleared by
+  // Clear() (the next full rebuild decides afresh).
+  void SetQuarantined();
+  bool quarantined() const;
+
   std::size_t ChunkCount() const;
   std::uint64_t TotalChunkBytes() const;
   std::uint64_t RefCount(const Sha1::Digest& digest) const;
@@ -135,6 +151,7 @@ class ChunkIndex {
     std::uint64_t refs = 0;
   };
   mutable std::mutex mu_;
+  bool quarantined_ = false;
   std::map<Sha1::Digest, Entry> chunks_;
   std::map<std::uint64_t, std::vector<Sha1::Digest>> manifests_;  // by seq
 };
@@ -142,9 +159,18 @@ class ChunkIndex {
 // Rebuilds the index from the bucket (Reboot path): chunk presence comes
 // from CHUNK/ names alone; references come from decoding every *visible*
 // manifest (each is a single-part object, so any listed manifest is
-// complete). A manifest that fails to fetch or decode is skipped — its
-// chunks then look unreferenced, which GC may delete, and recovery would
-// have rejected the manifest anyway.
+// complete). Failure handling is deliberately asymmetric, because a
+// manifest that stays visible but loses its references would have its
+// chunks swept as orphans — permanent data loss:
+//   * GET NotFound — the manifest vanished between LIST and GET: really
+//     gone, skipped.
+//   * any other GET failure — possibly transient: the rebuild FAILS (the
+//     caller retries the Reboot) rather than mistaking the manifest for
+//     absent.
+//   * decode failure — genuinely corrupt (the MAC rules out a bad fetch):
+//     the manifest is skipped, matching recovery's rejection, but the
+//     index is quarantined so the zero-ref sweep cannot delete chunks the
+//     undecodable manifest may still reference.
 Status RebuildChunkIndex(ObjectStore& store, const Envelope& envelope,
                          const std::vector<ObjectMeta>& objects,
                          ChunkIndex* index);

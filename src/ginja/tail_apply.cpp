@@ -284,7 +284,11 @@ TailApplyResult ApplyTailPlan(const std::vector<TailPlanItem>& plan,
       if (!fetched_chunk.ok()) return fetched_chunk.status();
       ++r->objects_downloaded;
       r->bytes_downloaded += fetched_chunk->size();
-      auto chunk = ctx.envelope->Decode(View(*fetched_chunk));
+      // Chunks are enveloped under a per-chunk derived key (tweak = the
+      // manifest's content digest); the digest check below catches a
+      // wrong-key decode along with every other mismatch.
+      auto chunk = ctx.envelope->DecodeDerived(
+          View(*fetched_chunk), ByteView(ref.digest.data(), ref.digest.size()));
       if (!chunk.ok()) return chunk.status();
       if (chunk->size() != ref.length ||
           Sha1::Hash(View(*chunk)) != ref.digest) {

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <map>
 #include <set>
 #include <string>
@@ -22,6 +23,7 @@
 #include "ginja/dedup.h"
 #include "ginja/fleet.h"
 #include "ginja/ginja.h"
+#include "ginja/object_id.h"
 #include "ginja/standby.h"
 
 namespace ginja {
@@ -112,6 +114,29 @@ TEST(DedupChunking, ManifestRejectsCorruption) {
   Bytes long_payload = payload;
   long_payload.push_back(0);
   EXPECT_EQ(DecodeManifest(View(long_payload)).status().code(),
+            ErrorCode::kCorruption);
+}
+
+TEST(DedupChunking, ManifestRejectsOverflowingPathLength) {
+  std::vector<FileEntry> entries;
+  entries.push_back({"p", 0, Pattern(16, 1)});
+  const Bytes good = EncodeManifest(ChunkDumpEntries(entries, 16, nullptr));
+
+  // A crafted 64-bit path length near UINT64_MAX must not wrap the bounds
+  // check into a far-out-of-bounds read.
+  Bytes evil(good.begin(), good.begin() + 4);  // keep the magic
+  PutVarint(evil, 1);                          // one ref
+  PutVarint(evil, std::numeric_limits<std::uint64_t>::max());  // path_len
+  evil.push_back('x');
+  EXPECT_EQ(DecodeManifest(View(evil)).status().code(),
+            ErrorCode::kCorruption);
+
+  // An in-bounds claim of an absurd path length is rejected by the sanity
+  // bound before any giant allocation is attempted.
+  Bytes big(good.begin(), good.begin() + 4);
+  PutVarint(big, 1);
+  PutVarint(big, std::uint64_t{1} << 20);
+  EXPECT_EQ(DecodeManifest(View(big)).status().code(),
             ErrorCode::kCorruption);
 }
 
@@ -283,6 +308,19 @@ std::size_t CountChunks(ObjectStore& store) {
   return objects.ok() ? objects->size() : 0;
 }
 
+std::size_t CountManifests(ObjectStore& store) {
+  auto objects = store.List("DB/");
+  EXPECT_TRUE(objects.ok());
+  std::size_t n = 0;
+  if (objects.ok()) {
+    for (const auto& meta : *objects) {
+      auto id = DbObjectId::Decode(meta.name);
+      if (id && id->type == DbObjectType::kManifest) ++n;
+    }
+  }
+  return n;
+}
+
 TEST(DedupEndToEnd, SecondDumpUploadsOnlyChangedChunks) {
   Harness h;
   const auto& stats = h.ginja->checkpoint_stats();
@@ -450,6 +488,12 @@ TEST(DedupEndToEnd, TornManifestIsInvisibleAndResumable) {
   auto audit = AuditChunks(*h.store, h.ginja->envelope());
   ASSERT_TRUE(audit.ok());
   EXPECT_TRUE(audit->missing.empty());
+  // Orphans are reported under their *real* object names (digest + size
+  // suffix), so an operator can GET/DELETE them directly.
+  EXPECT_FALSE(audit->orphans.empty());
+  for (const auto& name : audit->orphans) {
+    EXPECT_TRUE(h.store->Get(name).ok()) << name;
+  }
 
   // Outage ends: the retried dump reuses the orphans instead of
   // re-uploading them — the torn upload resumed.
@@ -466,6 +510,154 @@ TEST(DedupEndToEnd, TornManifestIsInvisibleAndResumable) {
   ASSERT_TRUE(final_audit.ok());
   EXPECT_TRUE(final_audit->missing.empty());
   EXPECT_TRUE(final_audit->orphans.empty());  // GC swept the leftovers
+}
+
+// Manifest PUTs land in the inner store but report failure — the lost-ack
+// case a single-part object cannot hide behind multi-part invisibility.
+// Manifest DELETEs can be failed too, to block the confirming delete.
+class ManifestAckLosingStore : public ObjectStore {
+ public:
+  explicit ManifestAckLosingStore(ObjectStorePtr inner)
+      : inner_(std::move(inner)) {}
+
+  Status Put(std::string_view name, ByteView data) override {
+    if (lose_acks_.load() && name.find("manifest") != std::string_view::npos) {
+      (void)inner_->Put(name, data);  // the object lands anyway
+      acks_lost_.fetch_add(1);
+      return Status::Unavailable("injected: manifest PUT ack lost");
+    }
+    return inner_->Put(name, data);
+  }
+  Result<Bytes> Get(std::string_view name) override { return inner_->Get(name); }
+  Result<std::vector<ObjectMeta>> List(std::string_view prefix) override {
+    return inner_->List(prefix);
+  }
+  Result<std::vector<ObjectMeta>> List(std::string_view prefix,
+                                       std::string_view start_after) override {
+    return inner_->List(prefix, start_after);
+  }
+  Status Delete(std::string_view name) override {
+    if (fail_deletes_.load() &&
+        name.find("manifest") != std::string_view::npos) {
+      return Status::Unavailable("injected: manifest DELETE failed");
+    }
+    return inner_->Delete(name);
+  }
+
+  std::atomic<bool> lose_acks_{false};
+  std::atomic<bool> fail_deletes_{false};
+  std::atomic<int> acks_lost_{0};
+
+ private:
+  ObjectStorePtr inner_;
+};
+
+TEST(DedupEndToEnd, LostManifestAckLeavesNoGhostManifest) {
+  auto losing = std::make_shared<ManifestAckLosingStore>(
+      std::make_shared<MemoryStore>());
+  Harness h(DedupConfig(), losing);
+  int key = 0;
+  for (int i = 0; i < 80; ++i) h.Put(key++);
+  h.ginja->Drain();
+  ASSERT_TRUE(h.db->Checkpoint().ok());
+  h.ginja->Drain();
+  ASSERT_TRUE(h.DriveToNextDump(&key));
+  const std::size_t manifests_before = CountManifests(*h.store);
+
+  // Lost-ack window: every manifest PUT lands but reports failure. The
+  // pipeline must confirm each ghost's absence with a DELETE — a visible
+  // manifest the ChunkIndex does not know about would otherwise have its
+  // chunks swept by a later zero-ref wave.
+  losing->lose_acks_ = true;
+  EXPECT_FALSE(h.DriveToNextDump(&key, 40));
+  EXPECT_GT(losing->acks_lost_.load(), 0);
+  EXPECT_EQ(CountManifests(*h.store), manifests_before);
+
+  // Healthy again: the next dump publishes and GC sweeps; no ghost ever
+  // became visible, so the bucket audits clean.
+  losing->lose_acks_ = false;
+  ASSERT_TRUE(h.DriveToNextDump(&key));
+  h.ginja->Stop();
+  auto audit = AuditChunks(*h.store, h.ginja->envelope());
+  ASSERT_TRUE(audit.ok()) << audit.status().ToString();
+  EXPECT_TRUE(audit->missing.empty()) << audit->missing.front();
+  EXPECT_TRUE(audit->orphans.empty()) << audit->orphans.front();
+}
+
+TEST(DedupEndToEnd, UndeletableGhostManifestKeepsItsChunksPinned) {
+  auto losing = std::make_shared<ManifestAckLosingStore>(
+      std::make_shared<MemoryStore>());
+  Harness h(DedupConfig(), losing);
+  int key = 0;
+  for (int i = 0; i < 80; ++i) h.Put(key++);
+  h.ginja->Drain();
+  ASSERT_TRUE(h.db->Checkpoint().ok());
+  h.ginja->Drain();
+  ASSERT_TRUE(h.DriveToNextDump(&key));
+  const std::size_t manifests_before = CountManifests(*h.store);
+
+  // Worst case: the ack is lost AND the confirming DELETE fails, so ghost
+  // manifests stay visible in the bucket. Their chunks must be
+  // pessimistically pinned — otherwise a later dump's zero-ref sweep
+  // deletes chunks only a ghost references, leaving a visible-but-broken
+  // dump a PITR restore could select.
+  losing->lose_acks_ = true;
+  losing->fail_deletes_ = true;
+  EXPECT_FALSE(h.DriveToNextDump(&key, 40));
+  EXPECT_GT(losing->acks_lost_.load(), 0);
+  EXPECT_GT(CountManifests(*h.store), manifests_before);
+
+  // Healthy again: later dumps and their GC waves run. Every chunk any
+  // visible manifest references — ghosts included — must still exist.
+  losing->lose_acks_ = false;
+  losing->fail_deletes_ = false;
+  ASSERT_TRUE(h.DriveToNextDump(&key));
+  ASSERT_TRUE(h.DriveToNextDump(&key));
+  h.ginja->Stop();
+  auto audit = AuditChunks(*h.store, h.ginja->envelope());
+  ASSERT_TRUE(audit.ok()) << audit.status().ToString();
+  EXPECT_TRUE(audit->missing.empty())
+      << "ghost manifest chunk deleted: " << audit->missing.front();
+
+  // And recovery (which selects the newest, real manifest) sees every row.
+  auto fresh = std::make_shared<MemFs>();
+  ASSERT_TRUE(Ginja::Recover(h.store, DedupConfig(), h.layout, fresh).ok());
+  Database recovered(fresh, h.layout);
+  ASSERT_TRUE(recovered.Open().ok());
+  for (int i = 0; i < key; ++i) {
+    EXPECT_TRUE(recovered.Get("t", "k" + std::to_string(i)).has_value()) << i;
+  }
+}
+
+TEST(DedupEndToEnd, EncryptedChunksDedupAndRecover) {
+  // Convergent derived-key encryption: dedup must survive encryption
+  // (identical plaintext chunks → identical ciphertext) and recovery must
+  // reassemble the exact bytes through the per-chunk derived keys.
+  GinjaConfig config = DedupConfig();
+  config.envelope.encrypt = true;
+  config.envelope.compress = true;
+  config.envelope.password = "dedup-secret";
+  Harness h(config);
+  int key = 0;
+  for (int i = 0; i < 80; ++i) h.Put(key++);
+  h.ginja->Drain();
+  ASSERT_TRUE(h.db->Checkpoint().ok());
+  h.ginja->Drain();
+  ASSERT_TRUE(h.DriveToNextDump(&key));
+  ASSERT_TRUE(h.DriveToNextDump(&key));
+  const auto& stats = h.ginja->checkpoint_stats();
+  EXPECT_GT(stats.dedup_hit_bytes.Get(), 0u);
+  h.ginja->Stop();
+
+  auto fresh = std::make_shared<MemFs>();
+  RecoveryReport report;
+  ASSERT_TRUE(Ginja::Recover(h.store, config, h.layout, fresh, &report).ok());
+  EXPECT_GT(report.chunks_downloaded, 0u);
+  Database recovered(fresh, h.layout);
+  ASSERT_TRUE(recovered.Open().ok());
+  for (int i = 0; i < key; ++i) {
+    EXPECT_TRUE(recovered.Get("t", "k" + std::to_string(i)).has_value()) << i;
+  }
 }
 
 TEST(DedupEndToEnd, RebootRebuildsChunkIndexFromBucket) {
@@ -488,6 +680,110 @@ TEST(DedupEndToEnd, RebootRebuildsChunkIndexFromBucket) {
   ASSERT_TRUE(rebooted.Reboot().ok());
   EXPECT_EQ(rebooted.chunk_index().ChunkCount(), cloud_chunks);
   EXPECT_GT(rebooted.chunk_index().TotalChunkBytes(), 0u);
+  rebooted.Kill();
+}
+
+// GETs of manifest objects fail transiently while tripped; everything
+// else passes through.
+class ManifestGetFailingStore : public ObjectStore {
+ public:
+  explicit ManifestGetFailingStore(ObjectStorePtr inner)
+      : inner_(std::move(inner)) {}
+
+  Status Put(std::string_view name, ByteView data) override {
+    return inner_->Put(name, data);
+  }
+  Result<Bytes> Get(std::string_view name) override {
+    if (failing_.load() && name.find("manifest") != std::string_view::npos) {
+      return Status::Unavailable("injected: manifest GET failed");
+    }
+    return inner_->Get(name);
+  }
+  Result<std::vector<ObjectMeta>> List(std::string_view prefix) override {
+    return inner_->List(prefix);
+  }
+  Result<std::vector<ObjectMeta>> List(std::string_view prefix,
+                                       std::string_view start_after) override {
+    return inner_->List(prefix, start_after);
+  }
+  Status Delete(std::string_view name) override { return inner_->Delete(name); }
+
+  std::atomic<bool> failing_{false};
+
+ private:
+  ObjectStorePtr inner_;
+};
+
+TEST(DedupReboot, TransientManifestGetFailureFailsReboot) {
+  Harness h;
+  int key = 0;
+  for (int i = 0; i < 60; ++i) h.Put(key++);
+  h.ginja->Drain();
+  ASSERT_TRUE(h.db->Checkpoint().ok());
+  h.ginja->Drain();
+  ASSERT_TRUE(h.DriveToNextDump(&key));
+  h.ginja->Stop();
+
+  // A listed manifest whose GET fails transiently must fail the Reboot —
+  // treating it as absent would rebuild its chunks at refcount zero, and
+  // the next GC sweep would delete them under a still-visible (and
+  // possibly newest) manifest.
+  auto failing = std::make_shared<ManifestGetFailingStore>(h.store);
+  failing->failing_ = true;
+  {
+    Ginja rebooted(h.local, failing, h.clock, h.layout, DedupConfig());
+    EXPECT_FALSE(rebooted.Reboot().ok());
+  }
+
+  // The outage ends: the retried reboot succeeds with references intact.
+  failing->failing_ = false;
+  Ginja retried(h.local, failing, h.clock, h.layout, DedupConfig());
+  ASSERT_TRUE(retried.Reboot().ok());
+  EXPECT_FALSE(retried.chunk_index().quarantined());
+  EXPECT_GT(retried.chunk_index().ChunkCount(), 0u);
+  // Every chunk is referenced by the rebuilt manifest registrations, so
+  // nothing is exposed to the zero-ref sweep.
+  EXPECT_TRUE(retried.chunk_index().ZeroRefChunks().empty());
+  retried.Kill();
+}
+
+TEST(DedupReboot, CorruptManifestQuarantinesZeroRefSweep) {
+  Harness h;
+  int key = 0;
+  for (int i = 0; i < 60; ++i) h.Put(key++);
+  h.ginja->Drain();
+  ASSERT_TRUE(h.db->Checkpoint().ok());
+  h.ginja->Drain();
+  ASSERT_TRUE(h.DriveToNextDump(&key));
+  h.ginja->Stop();
+
+  // Plant a visible manifest whose bytes can never decode (the envelope
+  // MAC fails), plus an orphan chunk a zero-ref sweep would otherwise
+  // delete.
+  DbObjectId corrupt;
+  corrupt.ts = 999'999;
+  corrupt.type = DbObjectType::kManifest;
+  corrupt.size = 1;
+  corrupt.seq = 999;
+  corrupt.part = 0;
+  corrupt.total_parts = 1;
+  ASSERT_TRUE(h.store->Put(corrupt.Encode(), View(Pattern(64, 8))).ok());
+  const Bytes orphan_bytes = Pattern(32, 9);
+  const Sha1::Digest orphan_digest = Sha1::Hash(View(orphan_bytes));
+  ASSERT_TRUE(h.store
+                  ->Put(ChunkObjectId{orphan_digest, 32}.Encode(),
+                        View(orphan_bytes))
+                  .ok());
+
+  // Corruption is not transient, so the reboot proceeds (recovery rejects
+  // the manifest the same way) — but the zero-ref sweep is quarantined:
+  // the corrupt manifest's references are unknowable, so no chunk can be
+  // proven deletable.
+  Ginja rebooted(h.local, h.store, h.clock, h.layout, DedupConfig());
+  ASSERT_TRUE(rebooted.Reboot().ok());
+  EXPECT_TRUE(rebooted.chunk_index().quarantined());
+  EXPECT_TRUE(rebooted.chunk_index().Contains(orphan_digest));
+  EXPECT_TRUE(rebooted.chunk_index().ZeroRefChunks().empty());
   rebooted.Kill();
 }
 
